@@ -1,0 +1,149 @@
+package gnnlab
+
+// The full benchmark harness: one testing.B benchmark per table and figure
+// of the paper's evaluation (see DESIGN.md for the per-experiment index).
+// Each benchmark regenerates its table/figure through the same experiment
+// function cmd/gnnlab-bench uses and reports the rows once via b.Log.
+//
+// By default benches run at the calibrated full preset scale (the 1/100
+// configuration calibrated against the paper; see EXPERIMENTS.md).
+// `go test -bench=. -short` shrinks everything 8x for a fast pass.
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"gnnlab/internal/experiments"
+)
+
+// benchOptions picks the experiment scale: -short gives the quick profile;
+// GNNLAB_BENCH_SCALE overrides.
+func benchOptions(b *testing.B) experiments.Options {
+	b.Helper()
+	opts := experiments.Options{Scale: 1, Epochs: 3}
+	if testing.Short() {
+		opts = experiments.Quick()
+	}
+	if env := os.Getenv("GNNLAB_BENCH_SCALE"); env != "" {
+		scale, err := strconv.Atoi(env)
+		if err != nil || scale < 1 {
+			b.Fatalf("bad GNNLAB_BENCH_SCALE %q", env)
+		}
+		opts.Scale = scale
+	}
+	return opts
+}
+
+func runExperimentBench(b *testing.B, id string) {
+	b.Helper()
+	fn, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	opts := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		tbl, err := fn(opts)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatalf("%s: empty table", id)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tbl.Render())
+		}
+	}
+}
+
+// §2 motivation: epoch breakdown with GPU sampling / caching toggles.
+func BenchmarkTable1Breakdown(b *testing.B) { runExperimentBench(b, "table1") }
+
+// §6.2: epoch-to-epoch footprint similarity.
+func BenchmarkTable2Similarity(b *testing.B) { runExperimentBench(b, "table2") }
+
+// §3: per-stage GPU memory breakdown.
+func BenchmarkFigure3Memory(b *testing.B) { runExperimentBench(b, "figure3") }
+
+// §3: hit rate and extract time vs cache ratio.
+func BenchmarkFigure4CacheRatio(b *testing.B) { runExperimentBench(b, "figure4a") }
+
+// §3: hit rate and transferred volume vs feature dimension.
+func BenchmarkFigure4FeatureDim(b *testing.B) { runExperimentBench(b, "figure4b") }
+
+// §3: Degree vs Optimal transferred bytes.
+func BenchmarkFigure5DegreeVsOptimal(b *testing.B) { runExperimentBench(b, "figure5") }
+
+// §7.1: dataset inventory.
+func BenchmarkTable3Datasets(b *testing.B) { runExperimentBench(b, "table3") }
+
+// §7.2: headline end-to-end comparison on 8 GPUs.
+func BenchmarkTable4EndToEnd(b *testing.B) { runExperimentBench(b, "table4") }
+
+// §7.3: S(G+M+C)/E/T stage breakdown on 2 GPUs.
+func BenchmarkTable5Breakdown(b *testing.B) { runExperimentBench(b, "table5") }
+
+// §6.3: policy hit rates at a 10% cache.
+func BenchmarkFigure10Policies(b *testing.B) { runExperimentBench(b, "figure10") }
+
+// §6.3: PreSC#K on TW weighted.
+func BenchmarkFigure11PreSC(b *testing.B) { runExperimentBench(b, "figure11a") }
+
+// §6.3: hit rate vs cache ratio on PA.
+func BenchmarkFigure11CacheRatio(b *testing.B) { runExperimentBench(b, "figure11b") }
+
+// §6.3: transferred volume vs feature dimension by policy.
+func BenchmarkFigure11FeatureDim(b *testing.B) { runExperimentBench(b, "figure11c") }
+
+// §7.4: extract time by caching policy.
+func BenchmarkFigure12ExtractTime(b *testing.B) { runExperimentBench(b, "figure12") }
+
+// §7.4: end-to-end epoch time by caching policy.
+func BenchmarkFigure13PolicyEndToEnd(b *testing.B) { runExperimentBench(b, "figure13") }
+
+// §7.5: scalability vs GPU count.
+func BenchmarkFigure14Scalability(b *testing.B) { runExperimentBench(b, "figure14") }
+
+// §7.5: exhaustive mSxnT allocation sweep.
+func BenchmarkFigure15Allocation(b *testing.B) { runExperimentBench(b, "figure15") }
+
+// §7.6: preprocessing cost.
+func BenchmarkTable6Preprocessing(b *testing.B) { runExperimentBench(b, "table6") }
+
+// §7.7: convergence to an accuracy target with real training.
+func BenchmarkFigure16Convergence(b *testing.B) { runExperimentBench(b, "figure16") }
+
+// §7.8: dynamic switching.
+func BenchmarkFigure17Switching(b *testing.B) { runExperimentBench(b, "figure17a") }
+
+// §7.9: single-GPU operation.
+func BenchmarkFigure17SingleGPU(b *testing.B) { runExperimentBench(b, "figure17b") }
+
+// Ablations for the design choices DESIGN.md calls out.
+
+// §3 discussion: per-epoch role flipping (AGL) vs the factored design.
+func BenchmarkAblationAGL(b *testing.B) { runExperimentBench(b, "ablation-agl") }
+
+// §5.2: trainer-internal pipelining and sync vs bounded-staleness updates.
+func BenchmarkAblationPipeline(b *testing.B) { runExperimentBench(b, "ablation-pipeline") }
+
+// §8: subgraph-based sampling algorithms vs PreSC's assumptions.
+func BenchmarkAblationSubgraph(b *testing.B) { runExperimentBench(b, "ablation-subgraph") }
+
+// §5.2 future work: partitioned sampling for oversized topologies.
+func BenchmarkAblationPartition(b *testing.B) { runExperimentBench(b, "ablation-partition") }
+
+// §5.3 motivation: multi-tenant contention slowing some Trainer GPUs.
+func BenchmarkAblationContention(b *testing.B) { runExperimentBench(b, "ablation-contention") }
+
+// Sensitivity: Degree policy's dependence on out-degree/popularity coupling.
+func BenchmarkAblationCoupling(b *testing.B) { runExperimentBench(b, "ablation-coupling") }
+
+// Sensitivity: host gather bandwidth drives the uncached baselines.
+func BenchmarkAblationHostBandwidth(b *testing.B) { runExperimentBench(b, "ablation-hostbw") }
+
+// §8 discussion: mini-batch size vs epoch time and convergence.
+func BenchmarkAblationBatchSize(b *testing.B) { runExperimentBench(b, "ablation-batchsize") }
+
+// §8 discussion: training-set size widens GNNLab's advantage.
+func BenchmarkAblationTrainSet(b *testing.B) { runExperimentBench(b, "ablation-trainset") }

@@ -1,0 +1,72 @@
+// Command gnnlab-bench regenerates the paper's evaluation tables and
+// figures (see DESIGN.md for the per-experiment index).
+//
+// Usage:
+//
+//	gnnlab-bench [-scale N] [-gpus N] [-epochs N] [-format table|csv]
+//	             [-list] [experiment ...]
+//
+// With no experiment arguments, every registered experiment (the paper's
+// tables and figures plus the ablations) runs in paper order. At -scale 1
+// (default) the calibrated 1/100-scale presets are used; larger scales
+// shrink datasets and simulated GPUs together for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gnnlab/internal/experiments"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "dataset/GPU scale divisor (1 = calibrated scale)")
+	gpus := flag.Int("gpus", 8, "number of simulated GPUs")
+	epochs := flag.Int("epochs", 3, "measured epochs per configuration")
+	seed := flag.Uint64("seed", 0, "experiment seed (0 = default)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	format := flag.String("format", "table", "output format: table or csv")
+	flag.Parse()
+	if *format != "table" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "gnnlab-bench: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := experiments.Options{Scale: *scale, NumGPUs: *gpus, Epochs: *epochs, Seed: *seed}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	exit := 0
+	for _, id := range ids {
+		fn, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gnnlab-bench: unknown experiment %q (use -list)\n", id)
+			exit = 1
+			continue
+		}
+		start := time.Now()
+		tbl, err := fn(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gnnlab-bench: %s: %v\n", id, err)
+			exit = 1
+			continue
+		}
+		if *format == "csv" {
+			fmt.Printf("# %s: %s\n%s\n", tbl.ID, tbl.Title, tbl.RenderCSV())
+		} else {
+			fmt.Print(tbl.Render())
+			fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,147 @@
+// Command gnnlab-timeline runs one simulated epoch of a system and prints
+// its per-task execution timeline — where every mini-batch was sampled,
+// extracted and trained, and how busy each Trainer was. Useful for seeing
+// the factored pipeline (and dynamic switching) at work.
+//
+// Usage:
+//
+//	gnnlab-timeline [-system gnnlab|dgl|tsota|pyg] [-model gcn|sage|pinsage]
+//	                [-dataset PA] [-gpus 8] [-scale 8] [-csv] [-gantt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"gnnlab"
+)
+
+func main() {
+	systemName := flag.String("system", "gnnlab", "system: gnnlab, dgl, tsota or pyg")
+	model := flag.String("model", "gcn", "model: gcn, sage or pinsage")
+	dataset := flag.String("dataset", "PA", "dataset preset")
+	gpus := flag.Int("gpus", 8, "number of GPUs")
+	scale := flag.Int("scale", 8, "dataset/GPU scale divisor")
+	csv := flag.Bool("csv", false, "dump the raw timeline as CSV")
+	gantt := flag.Bool("gantt", true, "print an ASCII per-trainer Gantt chart")
+	switching := flag.Bool("switching", false, "enable dynamic executor switching")
+	flag.Parse()
+
+	d, err := gnnlab.LoadDatasetScaled(*dataset, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var kind gnnlab.ModelKind
+	switch *model {
+	case "gcn":
+		kind = gnnlab.ModelGCN
+	case "sage":
+		kind = gnnlab.ModelGraphSAGE
+	case "pinsage":
+		kind = gnnlab.ModelPinSAGE
+	default:
+		log.Fatalf("unknown model %q", *model)
+	}
+	w := gnnlab.NewWorkload(kind)
+	w.BatchSize /= *scale
+	if w.BatchSize < 4 {
+		w.BatchSize = 4
+	}
+
+	var cfg gnnlab.SystemConfig
+	switch *systemName {
+	case "gnnlab":
+		cfg = gnnlab.NewGNNLab(w, *gpus)
+	case "dgl":
+		cfg = gnnlab.NewDGL(w, *gpus)
+	case "tsota":
+		cfg = gnnlab.NewTSOTA(w, *gpus)
+	case "pyg":
+		cfg = gnnlab.NewPyG(w, *gpus)
+	default:
+		log.Fatalf("unknown system %q", *systemName)
+	}
+	cfg.GPUMemory = gnnlab.DefaultGPUMemory / int64(*scale)
+	cfg.MemScale = float64(*scale)
+	cfg.Epochs = 1
+	cfg.Trace = true
+	cfg.DynamicSwitching = *switching
+
+	rep, err := gnnlab.Simulate(d, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep.OOM {
+		log.Fatalf("OOM: %s", rep.OOMReason)
+	}
+	fmt.Printf("%s\n%d tasks traced, makespan %.3fs\n\n", rep, len(rep.Timeline), rep.EpochTime)
+
+	if *csv {
+		fmt.Println("task,consumer,standby,ready,extract_start,extract_end,train_start,train_end")
+		for _, rec := range rep.Timeline {
+			fmt.Printf("%d,%d,%v,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+				rec.Task, rec.Consumer, rec.Standby, rec.Ready,
+				rec.ExtractStart, rec.ExtractEnd, rec.TrainStart, rec.TrainEnd)
+		}
+		fmt.Println()
+	}
+	if *gantt {
+		printGantt(rep)
+	}
+}
+
+// printGantt renders one line per consumer: '.' idle, 'e' extracting,
+// 'T' training, over 100 time buckets.
+func printGantt(rep *gnnlab.Report) {
+	const cols = 100
+	perConsumer := map[int][]int{} // consumer -> timeline rows
+	for i, rec := range rep.Timeline {
+		perConsumer[rec.Consumer] = append(perConsumer[rec.Consumer], i)
+	}
+	ids := make([]int, 0, len(perConsumer))
+	for id := range perConsumer {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	span := rep.EpochTime
+	if span <= 0 {
+		return
+	}
+	for _, id := range ids {
+		row := make([]byte, cols)
+		for i := range row {
+			row[i] = '.'
+		}
+		standby := false
+		var busy float64
+		for _, ti := range perConsumer[id] {
+			rec := rep.Timeline[ti]
+			standby = standby || rec.Standby
+			fill(row, rec.ExtractStart/span, rec.ExtractEnd/span, 'e')
+			fill(row, rec.TrainStart/span, rec.TrainEnd/span, 'T')
+			busy += (rec.ExtractEnd - rec.ExtractStart) + (rec.TrainEnd - rec.TrainStart)
+		}
+		label := fmt.Sprintf("trainer %d", id)
+		if standby {
+			label = fmt.Sprintf("standby %d", id)
+		}
+		fmt.Printf("%-10s |%s| %3.0f%% busy, %d tasks\n",
+			label, string(row), 100*busy/span, len(perConsumer[id]))
+	}
+	fmt.Println(strings.Repeat(" ", 11) + "0" + strings.Repeat(" ", cols-8) + fmt.Sprintf("%.3fs", span))
+	fmt.Println("(e = extract, T = train; extract overlaps train when pipelined, so busy can exceed 100%)")
+}
+
+func fill(row []byte, from, to float64, ch byte) {
+	lo := int(from * float64(len(row)))
+	hi := int(to * float64(len(row)))
+	if hi >= len(row) {
+		hi = len(row) - 1
+	}
+	for i := lo; i <= hi && i >= 0; i++ {
+		row[i] = ch
+	}
+}

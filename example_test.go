@@ -1,0 +1,45 @@
+package gnnlab_test
+
+import (
+	"fmt"
+
+	"gnnlab"
+)
+
+// ExampleAllocate reproduces the paper's GCN-on-PA scheduling decision:
+// with trainers ~4x slower than samplers per mini-batch, two of eight
+// GPUs sample.
+func ExampleAllocate() {
+	alloc := gnnlab.Allocate(8, 6.5e-3, 26e-3) // T_s, T_t from a probe epoch
+	fmt.Println(alloc)
+	// Output: 2S6T
+}
+
+// ExampleSwitchProfit shows the dynamic-switching decision: a backed-up
+// queue against a single Trainer makes the standby Trainer profitable.
+func ExampleSwitchProfit() {
+	profit := gnnlab.SwitchProfit(38, 0.020, 1, 0.025)
+	fmt.Printf("%.3f positive=%v\n", profit, profit > 0)
+	// Output: 0.735 positive=true
+}
+
+// ExampleSimulate runs the factored system on a reduced-scale dataset.
+func ExampleSimulate() {
+	d, err := gnnlab.LoadDatasetScaled(gnnlab.DatasetPA, 16)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	w := gnnlab.NewWorkload(gnnlab.ModelGCN)
+	w.BatchSize = 5
+	cfg := gnnlab.NewGNNLab(w, 8)
+	cfg.GPUMemory = gnnlab.DefaultGPUMemory / 16
+	cfg.MemScale = 16
+	rep, err := gnnlab.Simulate(d, cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("system=%s oom=%v gpus=%d\n", rep.System, rep.OOM, rep.NumGPUs)
+	// Output: system=GNNLab oom=false gpus=8
+}

@@ -1,0 +1,106 @@
+// Custom sampling algorithm: GNNLab's programming model (§5.1) accepts any
+// user-defined sampling scheme. This example implements a "hub-aware"
+// 2-hop sampler from scratch against the public API — first hop uniform,
+// second hop biased to the highest-degree neighbors — and shows that the
+// pre-sampling caching policy adapts to it automatically while the static
+// degree policy does not adapt to anything.
+//
+//	go run ./examples/customsampler [-scale 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"gnnlab"
+)
+
+// hubAware is a user-defined gnnlab.SamplingAlgorithm: hop 1 samples
+// uniformly, hop 2 keeps only the highest-degree neighbors. It composes
+// the exported k-hop sampler (oversampling hop 2 by 3x) and then re-ranks
+// the hop-2 picks by degree — showing that custom schemes can build on the
+// provided machinery instead of reimplementing dedup/renumbering.
+type hubAware struct {
+	fanout int
+	inner  gnnlab.SamplingAlgorithm
+}
+
+func newHubAware(fanout int) *hubAware {
+	return &hubAware{
+		fanout: fanout,
+		// Oversample uniformly, then keep the top-degree subset.
+		inner: gnnlab.NewKHopSampler([]int{fanout, fanout * 3}),
+	}
+}
+
+func (h *hubAware) Name() string { return fmt.Sprintf("hub-aware(%d)", h.fanout) }
+func (h *hubAware) NumHops() int { return 2 }
+
+func (h *hubAware) Sample(g *gnnlab.Graph, seeds []int32, r *gnnlab.Rand) *gnnlab.Sample {
+	s := h.inner.Sample(g, seeds, r)
+	// Keep only the top-degree third of each hop-2 target's picks.
+	l := &s.Layers[1]
+	perTarget := map[int32][]int32{}
+	for i := range l.Src {
+		perTarget[l.Dst[i]] = append(perTarget[l.Dst[i]], l.Src[i])
+	}
+	l.Src = l.Src[:0]
+	l.Dst = l.Dst[:0]
+	targets := make([]int32, 0, len(perTarget))
+	for t := range perTarget {
+		targets = append(targets, t)
+	}
+	sort.Slice(targets, func(a, b int) bool { return targets[a] < targets[b] })
+	for _, t := range targets {
+		picks := perTarget[t]
+		sort.Slice(picks, func(a, b int) bool {
+			da, db := g.Degree(s.Input[picks[a]]), g.Degree(s.Input[picks[b]])
+			if da != db {
+				return da > db
+			}
+			return picks[a] < picks[b]
+		})
+		if len(picks) > h.fanout {
+			picks = picks[:h.fanout]
+		}
+		for _, p := range picks {
+			l.Src = append(l.Src, p)
+			l.Dst = append(l.Dst, t)
+		}
+	}
+	return s
+}
+
+func main() {
+	scale := flag.Int("scale", 8, "dataset scale divisor")
+	flag.Parse()
+
+	d, err := gnnlab.LoadDatasetScaled(gnnlab.DatasetPA, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch := 80 / *scale
+	if batch < 4 {
+		batch = 4
+	}
+
+	fmt.Printf("custom hub-aware sampler vs built-in 2-hop on %s (10%% cache):\n\n", d.Name)
+	for _, alg := range []gnnlab.SamplingAlgorithm{
+		gnnlab.NewKHopSampler([]int{10, 10}),
+		newHubAware(10),
+	} {
+		fmt.Printf("%s:\n", alg.Name())
+		for _, policy := range []gnnlab.CachePolicy{gnnlab.PolicyDegree, gnnlab.PolicyPreSC, gnnlab.PolicyOptimal} {
+			ev, err := gnnlab.EvaluateCachePolicy(d, alg, policy, 0.10, batch, 2, 7)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-8s hit %5.1f%%  transfers %7.2f MB/epoch\n",
+				ev.Policy, 100*ev.HitRate, float64(ev.TransferredBytes)/(1<<20))
+		}
+	}
+	fmt.Println("\nPreSC re-ranks itself for whatever the sampler actually visits;")
+	fmt.Println("the Degree policy is the same ranking no matter the algorithm.")
+}

@@ -1,0 +1,64 @@
+// Quickstart: load a dataset, run GNNLab and the three baselines on a
+// simulated 8-GPU machine, and print the paper-style comparison.
+//
+//	go run ./examples/quickstart [-scale 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gnnlab"
+)
+
+func main() {
+	scale := flag.Int("scale", 8, "dataset/GPU scale divisor (1 = calibrated 1/100-paper scale)")
+	flag.Parse()
+
+	// PA is the ogbn-papers100M analogue: a large citation graph whose
+	// features dwarf GPU memory — the regime GNNLab targets.
+	d, err := gnnlab.LoadDatasetScaled(gnnlab.DatasetPA, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s: %d vertices, %d edges, features %.0f MB\n\n",
+		d.Name, d.NumVertices(), d.Graph.NumEdges(), float64(d.FeatureBytes())/(1<<20))
+
+	w := gnnlab.NewWorkload(gnnlab.ModelGCN)
+	w.BatchSize /= *scale
+
+	systems := []gnnlab.SystemConfig{
+		gnnlab.NewPyG(w, 8),
+		gnnlab.NewDGL(w, 8),
+		gnnlab.NewTSOTA(w, 8),
+		gnnlab.NewGNNLab(w, 8),
+	}
+	fmt.Printf("%-8s  %-10s  %-8s  %-8s  %-8s  %-6s  %-5s\n",
+		"system", "epoch (s)", "sample", "extract", "train", "cache", "hit")
+	var gnnlabTime, dglTime float64
+	for _, cfg := range systems {
+		cfg.GPUMemory = gnnlab.DefaultGPUMemory / int64(*scale)
+		cfg.MemScale = float64(*scale)
+		rep, err := gnnlab.Simulate(d, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rep.OOM {
+			fmt.Printf("%-8s  OOM (%s)\n", rep.System, rep.OOMReason)
+			continue
+		}
+		fmt.Printf("%-8s  %-10.3f  %-8.3f  %-8.3f  %-8.3f  %-6s  %-5s\n",
+			rep.System, rep.EpochTime, rep.SampleTotal, rep.ExtractTot, rep.TrainTot,
+			fmt.Sprintf("%.0f%%", 100*rep.CacheRatio), fmt.Sprintf("%.0f%%", 100*rep.HitRate))
+		switch rep.System {
+		case "GNNLab":
+			gnnlabTime = rep.EpochTime
+		case "DGL":
+			dglTime = rep.EpochTime
+		}
+	}
+	if gnnlabTime > 0 && dglTime > 0 {
+		fmt.Printf("\nGNNLab speedup over DGL: %.1fx\n", dglTime/gnnlabTime)
+	}
+}

@@ -1,0 +1,69 @@
+// Recommendation workload: PinSAGE over the Twitter-like social graph —
+// the web-scale recommender scenario that motivates PinSAGE [58]. PinSAGE
+// training is compute-heavy relative to its random-walk sampling, so the
+// flexible scheduler assigns few Samplers, and on small machines dynamic
+// executor switching (§5.3) keeps the Sampler GPU busy as a standby
+// Trainer once its epoch's mini-batches are all sampled.
+//
+//	go run ./examples/recsys [-scale 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gnnlab"
+)
+
+func main() {
+	scale := flag.Int("scale", 8, "dataset/GPU scale divisor")
+	flag.Parse()
+
+	d, err := gnnlab.LoadDatasetScaled(gnnlab.DatasetTW, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := gnnlab.NewWorkload(gnnlab.ModelPinSAGE)
+	w.BatchSize /= *scale
+
+	fmt.Printf("PinSAGE on %s (%d vertices, %d edges)\n\n", d.Name, d.NumVertices(), d.Graph.NumEdges())
+	fmt.Println("machine  switching  epoch(s)  standby-tasks  alloc")
+	for _, gpus := range []int{2, 4, 8} {
+		for _, switching := range []bool{false, true} {
+			cfg := gnnlab.NewGNNLab(w, gpus)
+			cfg.GPUMemory = gnnlab.DefaultGPUMemory / int64(*scale)
+			cfg.MemScale = float64(*scale)
+			cfg.ForceSamplers = 1
+			cfg.DynamicSwitching = switching
+			cfg.Sync = false // asynchronous updates, as in §7.8
+			rep, err := gnnlab.Simulate(d, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if rep.OOM {
+				fmt.Printf("%d GPUs   %-9v  OOM (%s)\n", gpus, switching, rep.OOMReason)
+				continue
+			}
+			fmt.Printf("%d GPUs   %-9v  %-8.3f  %-13.1f  %s\n",
+				gpus, switching, rep.EpochTime,
+				float64(rep.TasksByStandby)/float64(rep.Epochs), rep.Alloc)
+		}
+	}
+
+	// Single GPU: the solo device alternates between sampling and
+	// training, storing a whole epoch of samples in the host queue.
+	cfg := gnnlab.NewGNNLab(w, 1)
+	cfg.GPUMemory = gnnlab.DefaultGPUMemory / int64(*scale)
+	cfg.MemScale = float64(*scale)
+	rep, err := gnnlab.Simulate(d, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep.OOM {
+		fmt.Printf("\nsingle GPU: OOM (%s)\n", rep.OOMReason)
+		return
+	}
+	fmt.Printf("\nsingle GPU (role alternation): epoch %.3fs, %d tasks trained by the standby Trainer\n",
+		rep.EpochTime, rep.TasksByStandby/rep.Epochs)
+}

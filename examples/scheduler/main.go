@@ -1,0 +1,60 @@
+// Flexible scheduling: sweep every mS×nT split of an 8-GPU machine for
+// GCN on the citation graph, then check that the closed-form allocation
+// N_s = ⌈N_g/(K+1)⌉ (§5.3) lands on (or next to) the best split found by
+// exhaustive search.
+//
+//	go run ./examples/scheduler [-scale 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gnnlab"
+)
+
+func main() {
+	scale := flag.Int("scale", 8, "dataset/GPU scale divisor")
+	gpus := flag.Int("gpus", 8, "machine size")
+	flag.Parse()
+
+	d, err := gnnlab.LoadDatasetScaled(gnnlab.DatasetPA, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := gnnlab.NewWorkload(gnnlab.ModelGCN)
+	w.BatchSize /= *scale
+
+	run := func(forceSamplers int) *gnnlab.Report {
+		cfg := gnnlab.NewGNNLab(w, *gpus)
+		cfg.GPUMemory = gnnlab.DefaultGPUMemory / int64(*scale)
+		cfg.MemScale = float64(*scale)
+		cfg.ForceSamplers = forceSamplers
+		rep, err := gnnlab.Simulate(d, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
+	}
+
+	fmt.Printf("exhaustive allocation sweep, GCN on %s, %d GPUs:\n", d.Name, *gpus)
+	best, bestTime := 0, 0.0
+	for ns := 1; ns < *gpus; ns++ {
+		rep := run(ns)
+		if rep.OOM {
+			fmt.Printf("  %s: OOM\n", rep.Alloc)
+			continue
+		}
+		marker := ""
+		if best == 0 || rep.EpochTime < bestTime {
+			best, bestTime = ns, rep.EpochTime
+		}
+		fmt.Printf("  %s: epoch %.3fs%s\n", rep.Alloc, rep.EpochTime, marker)
+	}
+
+	auto := run(0) // 0 = let flexible scheduling decide
+	fmt.Printf("\nflexible scheduling chose %s (epoch %.3fs; T_s %.1f ms, T_t %.1f ms, K = %.1f)\n",
+		auto.Alloc, auto.EpochTime, 1e3*auto.TsAvg, 1e3*auto.TtAvg, auto.TtAvg/auto.TsAvg)
+	fmt.Printf("exhaustive best was %dS (epoch %.3fs)\n", best, bestTime)
+}

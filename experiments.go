@@ -1,0 +1,30 @@
+package gnnlab
+
+import "gnnlab/internal/experiments"
+
+// ExperimentOptions controls experiment scale (see internal/experiments).
+type ExperimentOptions = experiments.Options
+
+// ExperimentTable is a rendered experiment result.
+type ExperimentTable = experiments.Table
+
+// ExperimentIDs lists the reproducible tables and figures in paper order
+// (table1 … figure17b).
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one of the paper's tables or figures by ID.
+func RunExperiment(id string, opts ExperimentOptions) (*ExperimentTable, error) {
+	fn, ok := experiments.Lookup(id)
+	if !ok {
+		return nil, &UnknownExperimentError{ID: id}
+	}
+	return fn(opts)
+}
+
+// UnknownExperimentError reports a request for an unregistered experiment.
+type UnknownExperimentError struct{ ID string }
+
+// Error implements error.
+func (e *UnknownExperimentError) Error() string {
+	return "gnnlab: unknown experiment " + e.ID + " (see ExperimentIDs)"
+}

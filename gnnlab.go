@@ -1,0 +1,151 @@
+// Package gnnlab is a from-scratch Go reproduction of GNNLab (EuroSys '22):
+// a factored system for sample-based GNN training over GPUs. It provides
+//
+//   - the factored space-sharing runtime (dedicated Sampler and Trainer
+//     executors bridged by an asynchronous global queue), the flexible
+//     GPU scheduler and dynamic executor switching of §5;
+//   - the general GPU feature-caching scheme of §6 with the Random,
+//     Degree (PaGraph), pre-sampling (PreSC#K) and Optimal policies;
+//   - graph sampling algorithms (k-hop uniform in Fisher–Yates and
+//     reservoir variants, k-hop weighted, PinSAGE random walks);
+//   - the baselines the paper compares against (PyG-style CPU sampling,
+//     DGL-style time sharing, T_SOTA, AGL batch mode);
+//   - a simulated multi-GPU substrate (memory ledger, PCIe, calibrated
+//     cost model) standing in for the paper's V100 testbed, and a real
+//     CPU tensor/NN stack for training to an accuracy target;
+//   - an experiment harness regenerating every table and figure of the
+//     paper's evaluation.
+//
+// # Quick start
+//
+//	d, err := gnnlab.LoadDataset(gnnlab.DatasetPA)
+//	if err != nil { ... }
+//	rep, err := gnnlab.Simulate(d, gnnlab.NewGNNLab(gnnlab.NewWorkload(gnnlab.ModelGCN), 8))
+//	if err != nil { ... }
+//	fmt.Println(rep) // epoch time, S/E/T breakdown, cache ratio, hit rate
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture
+// and the hardware-substitution rules this reproduction follows.
+package gnnlab
+
+import (
+	"gnnlab/internal/core"
+	"gnnlab/internal/device"
+	"gnnlab/internal/gen"
+	"gnnlab/internal/nn"
+	"gnnlab/internal/train"
+	"gnnlab/internal/workload"
+)
+
+// DefaultGPUMemory is the simulated GPU capacity: the paper's 16 GB V100
+// scaled by 1/100 alongside the datasets.
+const DefaultGPUMemory = device.DefaultGPUMemory
+
+// CostModel holds the calibrated rates of the simulated testbed.
+type CostModel = device.CostModel
+
+// DefaultCostModel returns the calibrated testbed rates (see
+// internal/device for the calibration anchors).
+func DefaultCostModel() CostModel { return device.DefaultCostModel() }
+
+// Dataset is a generated graph dataset with features metadata, labels and
+// a training set.
+type Dataset = gen.Dataset
+
+// DatasetConfig fully determines a synthetic dataset.
+type DatasetConfig = gen.Config
+
+// Dataset presets mirroring the paper's evaluation graphs at 1/100 scale
+// (Table 3), plus the labelled community graph used for real training.
+const (
+	DatasetPR   = gen.PresetPR
+	DatasetTW   = gen.PresetTW
+	DatasetPA   = gen.PresetPA
+	DatasetUK   = gen.PresetUK
+	DatasetConv = gen.PresetConv
+)
+
+// DatasetNames lists the four evaluation presets in paper order.
+func DatasetNames() []string { return gen.PresetNames() }
+
+// LoadDataset generates (and memoizes) a preset dataset.
+func LoadDataset(name string) (*Dataset, error) { return gen.LoadPreset(name) }
+
+// LoadDatasetScaled generates a preset shrunk by factor, for quick runs.
+func LoadDatasetScaled(name string, factor int) (*Dataset, error) {
+	return gen.LoadPresetScaled(name, factor)
+}
+
+// GenerateDataset builds a dataset from an explicit configuration.
+func GenerateDataset(cfg DatasetConfig) (*Dataset, error) { return gen.Generate(cfg) }
+
+// ModelKind identifies one of the paper's GNN models.
+type ModelKind = workload.ModelKind
+
+// The paper's three models (§7.1), plus GAT as a library extension.
+const (
+	ModelGCN       = workload.GCN
+	ModelGraphSAGE = workload.GraphSAGE
+	ModelPinSAGE   = workload.PinSAGE
+	ModelGAT       = workload.GAT
+)
+
+// Workload is a fully-parameterized GNN training workload: model kind,
+// hidden dimension, mini-batch size, and optionally weighted sampling.
+type Workload = workload.Spec
+
+// NewWorkload returns the paper-default workload for a model kind.
+func NewWorkload(kind ModelKind) Workload { return workload.NewSpec(kind) }
+
+// SystemConfig describes a complete training system (design, GPUs, cache
+// policy, scheduling knobs).
+type SystemConfig = core.Config
+
+// Report is the measured outcome of a simulated run: epoch time, stage
+// breakdown, cache ratio and hit rate, transferred bytes, allocation.
+type Report = core.Report
+
+// System constructors for the paper's four systems.
+var (
+	// NewGNNLab returns the factored space-sharing system (the paper's
+	// contribution) with PreSC#1 caching and flexible scheduling.
+	NewGNNLab = core.GNNLab
+	// NewTSOTA returns the time-sharing baseline with GPU sampling and a
+	// degree cache.
+	NewTSOTA = core.TSOTA
+	// NewDGL returns the time-sharing baseline with reservoir GPU
+	// sampling and no cache.
+	NewDGL = core.DGL
+	// NewPyG returns the CPU-sampling baseline.
+	NewPyG = core.PyG
+	// NewAGL returns the per-epoch batch-mode design discussed in §3.
+	NewAGL = core.AGL
+)
+
+// Simulate runs one system configuration against a dataset: real sampling
+// and cache behaviour, simulated device timing. OOM outcomes are reported
+// in the Report, mirroring the paper's tables.
+func Simulate(d *Dataset, cfg SystemConfig) (*Report, error) { return core.Run(d, cfg) }
+
+// PreprocessCost is the Table 6 preprocessing breakdown.
+type PreprocessCost = core.PreprocessCost
+
+// Preprocess estimates preprocessing costs (disk→DRAM, DRAM→GPU,
+// pre-sampling) for a configuration.
+func Preprocess(d *Dataset, cfg SystemConfig) (PreprocessCost, error) {
+	return core.Preprocess(d, cfg)
+}
+
+// TrainOptions configures live (non-simulated) training.
+type TrainOptions = train.Options
+
+// TrainResult is a completed live training run.
+type TrainResult = train.Result
+
+// Train runs real sample-based GNN training (real gradients, real
+// accuracy) on a labelled dataset, e.g. the DatasetConv preset.
+func Train(d *Dataset, opts TrainOptions) (*TrainResult, error) { return train.Train(d, opts) }
+
+// Model is a trained GNN model: run predictions with Predict, persist with
+// SaveCheckpoint / LoadCheckpoint.
+type Model = nn.Model

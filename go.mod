@@ -1,0 +1,3 @@
+module gnnlab
+
+go 1.22

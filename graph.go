@@ -1,0 +1,30 @@
+package gnnlab
+
+import (
+	"io"
+
+	"gnnlab/internal/gen"
+	"gnnlab/internal/graph"
+)
+
+// Graph is the immutable CSR graph store every subsystem operates on.
+type Graph = graph.CSR
+
+// GraphBuilder accumulates edges and produces a Graph.
+type GraphBuilder = graph.Builder
+
+// NewGraphBuilder returns a builder for a graph with n vertices.
+func NewGraphBuilder(n int, weighted bool) *GraphBuilder { return graph.NewBuilder(n, weighted) }
+
+// WriteGraph serializes g in the binary CSR format.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteBinary(w, g) }
+
+// ReadGraph deserializes a graph written by WriteGraph, validating it.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
+
+// WriteDataset serializes a complete dataset (graph, training set, labels
+// and features when present) in the binary dataset format.
+func WriteDataset(w io.Writer, d *Dataset) error { return gen.WriteDataset(w, d) }
+
+// ReadDataset deserializes a dataset written by WriteDataset.
+func ReadDataset(r io.Reader, name string) (*Dataset, error) { return gen.ReadDataset(r, name) }

@@ -1,0 +1,125 @@
+// Package cache implements the GPU-based feature caching scheme of §6: a
+// general scheme parameterized by a hotness metric h_v and a cache ratio α,
+// the built-in policies (Random, Degree as in PaGraph, the paper's
+// pre-sampling based PreSC#K, and the Optimal oracle), the load_cache
+// procedure that fills a cache table from a ranking, and the per-minibatch
+// hit/miss accounting the Extract stage uses.
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"gnnlab/internal/graph"
+	"gnnlab/internal/rng"
+)
+
+// PolicyKind identifies a caching policy.
+type PolicyKind int
+
+const (
+	// PolicyRandom caches a uniform random subset of vertices.
+	PolicyRandom PolicyKind = iota
+	// PolicyDegree caches the highest out-degree vertices (PaGraph [35]).
+	PolicyDegree
+	// PolicyPreSC caches by average visit count over K pre-sampling
+	// epochs (the paper's contribution, §6.3).
+	PolicyPreSC
+	// PolicyOptimal caches the vertices actually most extracted during
+	// the measured run — an oracle upper bound (§3, footnote 4).
+	PolicyOptimal
+)
+
+// String returns the policy name as used in the paper's figures.
+func (p PolicyKind) String() string {
+	switch p {
+	case PolicyRandom:
+		return "Random"
+	case PolicyDegree:
+		return "Degree"
+	case PolicyPreSC:
+		return "PreSC"
+	case PolicyOptimal:
+		return "Optimal"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(p))
+	}
+}
+
+// Hotness holds the per-vertex hotness metric h_v (§6.1). Higher is hotter.
+type Hotness struct {
+	Score []float64
+}
+
+// NewHotness wraps a score vector.
+func NewHotness(score []float64) Hotness { return Hotness{Score: score} }
+
+// Rank returns vertex IDs in descending hotness, ties broken by ascending
+// ID so rankings are deterministic.
+func (h Hotness) Rank() []int32 {
+	ids := make([]int32, len(h.Score))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		sa, sb := h.Score[ids[a]], h.Score[ids[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// DegreeHotness returns h_v = out-degree(v), the PaGraph metric.
+func DegreeHotness(g *graph.CSR) Hotness {
+	n := g.NumVertices()
+	score := make([]float64, n)
+	for v := 0; v < n; v++ {
+		score[v] = float64(g.Degree(int32(v)))
+	}
+	return Hotness{Score: score}
+}
+
+// RandomHotness returns i.i.d. uniform scores, yielding a uniform random
+// cache ranking.
+func RandomHotness(n int, r *rng.Rand) Hotness {
+	score := make([]float64, n)
+	for v := range score {
+		score[v] = r.Float64()
+	}
+	return Hotness{Score: score}
+}
+
+// CountHotness converts integer visit counts into a hotness metric.
+func CountHotness(counts []int64) Hotness {
+	score := make([]float64, len(counts))
+	for v, c := range counts {
+		score[v] = float64(c)
+	}
+	return Hotness{Score: score}
+}
+
+// SlotsFor translates a cache budget into a vertex count: how many feature
+// rows of vertexFeatureBytes each fit into availBytes, capped at numVertices.
+func SlotsFor(availBytes, vertexFeatureBytes int64, numVertices int) int {
+	if vertexFeatureBytes <= 0 {
+		panic("cache: non-positive vertex feature size")
+	}
+	if availBytes <= 0 {
+		return 0
+	}
+	slots := int(availBytes / vertexFeatureBytes)
+	if slots > numVertices {
+		slots = numVertices
+	}
+	return slots
+}
+
+// RatioFor returns the cache ratio α implied by a slot count.
+func RatioFor(slots, numVertices int) float64 {
+	if numVertices == 0 {
+		return 0
+	}
+	return float64(slots) / float64(numVertices)
+}

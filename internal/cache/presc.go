@@ -1,0 +1,63 @@
+package cache
+
+import (
+	"gnnlab/internal/graph"
+	"gnnlab/internal/rng"
+	"gnnlab/internal/sampling"
+)
+
+// PreSCResult is the outcome of pre-sampling: the hotness metric plus the
+// work performed, which Table 6 charges as preprocessing cost.
+type PreSCResult struct {
+	Hotness Hotness
+	// VisitCounts[v] is the total number of times v was sampled across
+	// the K pre-sampling epochs (hotness is the per-epoch average, which
+	// ranks identically).
+	VisitCounts []int64
+	Epochs      int
+	// SampledEdges and ScannedEdges aggregate sampler work for costing.
+	SampledEdges int64
+	ScannedEdges int64
+}
+
+// PreSC runs K epochs of the Sample stage alone — with the real sampling
+// algorithm, graph and training set — and returns the average visit count
+// as the hotness metric h_v (§6.3, PreSC#K). The pre-sampling epochs use
+// the same shuffled mini-batch structure as training so the footprint is
+// representative.
+func PreSC(g *graph.CSR, alg sampling.Algorithm, trainSet []int32, batchSize, k int, seed uint64) PreSCResult {
+	if k <= 0 {
+		panic("cache: PreSC with non-positive K")
+	}
+	counts := make([]int64, g.NumVertices())
+	res := PreSCResult{Epochs: k}
+	r := rng.New(seed ^ 0x9E3779B97F4A7C15)
+	algo := sampling.CloneAlgorithm(alg)
+	for epoch := 0; epoch < k; epoch++ {
+		er := r.Split(uint64(epoch))
+		for _, batch := range sampling.Batches(trainSet, batchSize, er) {
+			s := algo.Sample(g, batch, er)
+			res.SampledEdges += s.SampledEdges
+			res.ScannedEdges += s.ScannedEdges
+			// Count every sampled occurrence (seeds plus each drawn
+			// neighbor), not just unique-per-batch: revisit frequency
+			// within a batch is hotness signal too.
+			for _, v := range s.Seeds {
+				counts[v]++
+			}
+			for _, l := range s.Layers {
+				for _, src := range l.Src {
+					counts[s.Input[src]]++
+				}
+			}
+		}
+	}
+	res.VisitCounts = counts
+	score := make([]float64, len(counts))
+	inv := 1 / float64(k)
+	for v, c := range counts {
+		score[v] = float64(c) * inv
+	}
+	res.Hotness = Hotness{Score: score}
+	return res
+}

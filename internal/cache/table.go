@@ -1,0 +1,140 @@
+package cache
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Table is the runtime cache index built by Load (the paper's load_cache
+// procedure, §6.1): it maps a vertex to its slot in the GPU-resident
+// feature cache, or reports a miss. Lookups are wait-free; the hit/miss
+// counters are atomic so concurrent trainers can share a table.
+type Table struct {
+	// slot[v] is the cache slot of v, or -1 when v is not cached.
+	slot []int32
+	// cached lists the cached vertices in ranking order (slot order).
+	cached             []int32
+	numVertices        int
+	vertexFeatureBytes int64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	missBytes atomic.Int64
+}
+
+// Load builds a Table caching the first `slots` vertices of ranking — the
+// top-ranked α|V| vertices w.r.t. the hotness metric.
+func Load(ranking []int32, slots int, numVertices int, vertexFeatureBytes int64) (*Table, error) {
+	if slots < 0 || slots > len(ranking) {
+		return nil, fmt.Errorf("cache: slots %d out of range [0,%d]", slots, len(ranking))
+	}
+	t := &Table{
+		slot:               make([]int32, numVertices),
+		cached:             make([]int32, slots),
+		numVertices:        numVertices,
+		vertexFeatureBytes: vertexFeatureBytes,
+	}
+	for i := range t.slot {
+		t.slot[i] = -1
+	}
+	for i := 0; i < slots; i++ {
+		v := ranking[i]
+		if v < 0 || int(v) >= numVertices {
+			return nil, fmt.Errorf("cache: ranking entry %d out of range (n=%d)", v, numVertices)
+		}
+		if t.slot[v] != -1 {
+			return nil, fmt.Errorf("cache: vertex %d ranked twice", v)
+		}
+		t.slot[v] = int32(i)
+		t.cached[i] = v
+	}
+	return t, nil
+}
+
+// Empty returns a table that caches nothing (the no-cache baselines).
+func Empty(numVertices int, vertexFeatureBytes int64) *Table {
+	t, err := Load(nil, 0, numVertices, vertexFeatureBytes)
+	if err != nil {
+		panic(err) // unreachable: zero slots cannot fail
+	}
+	return t
+}
+
+// NumSlots returns the number of cached vertices.
+func (t *Table) NumSlots() int { return len(t.cached) }
+
+// Ratio returns the cache ratio α.
+func (t *Table) Ratio() float64 { return RatioFor(len(t.cached), t.numVertices) }
+
+// Bytes returns the GPU memory the cached features occupy.
+func (t *Table) Bytes() int64 { return int64(len(t.cached)) * t.vertexFeatureBytes }
+
+// VertexFeatureBytes returns the per-vertex feature size the table was
+// built with.
+func (t *Table) VertexFeatureBytes() int64 { return t.vertexFeatureBytes }
+
+// IsCached reports whether v's feature is in the cache.
+func (t *Table) IsCached(v int32) bool { return t.slot[v] >= 0 }
+
+// Slot returns v's cache slot and whether it is cached.
+func (t *Table) Slot(v int32) (int32, bool) {
+	s := t.slot[v]
+	return s, s >= 0
+}
+
+// Mark fills mask[i] = IsCached(input[i]), the Sample-stage marking step
+// ("M" in Table 5) that lets the Trainer split its gather between GPU cache
+// and host memory without extra lookups.
+func (t *Table) Mark(input []int32, mask []bool) {
+	for i, v := range input {
+		mask[i] = t.slot[v] >= 0
+	}
+}
+
+// Extract accounts one mini-batch extraction over the unique input
+// vertices: it returns the hit and miss counts and adds them to the
+// table's running counters.
+func (t *Table) Extract(input []int32) (hits, misses int) {
+	for _, v := range input {
+		if t.slot[v] >= 0 {
+			hits++
+		} else {
+			misses++
+		}
+	}
+	t.hits.Add(int64(hits))
+	t.misses.Add(int64(misses))
+	t.missBytes.Add(int64(misses) * t.vertexFeatureBytes)
+	return hits, misses
+}
+
+// Stats is a snapshot of the table's accumulated accounting.
+type Stats struct {
+	Hits, Misses int64
+	MissBytes    int64
+}
+
+// HitRate returns the fraction of extractions served from the cache.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns a snapshot of the accumulated counters.
+func (t *Table) Stats() Stats {
+	return Stats{
+		Hits:      t.hits.Load(),
+		Misses:    t.misses.Load(),
+		MissBytes: t.missBytes.Load(),
+	}
+}
+
+// ResetStats zeroes the counters (e.g. between warm-up and measurement).
+func (t *Table) ResetStats() {
+	t.hits.Store(0)
+	t.misses.Store(0)
+	t.missBytes.Store(0)
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+
+	"gnnlab/internal/cache"
+	"gnnlab/internal/device"
+	"gnnlab/internal/gen"
+)
+
+// memPlan is the outcome of GPU memory planning (§3's capacity analysis,
+// §6.1's cache-budget rule): how many feature rows each trainer-side cache
+// holds, and — for GNNLab with switching — how many a standby trainer's
+// smaller cache holds. A failed plan carries the OOM error.
+type memPlan struct {
+	// cacheSlots is the trainer cache capacity in vertices.
+	cacheSlots int
+	// standbySlots is the standby-trainer cache capacity (its GPU also
+	// holds the graph topology); -1 when a standby trainer cannot even
+	// fit its training workspace, disabling switching on that GPU.
+	standbySlots int
+	// topoBytes is what a sampler loads.
+	topoBytes int64
+	// cacheBytes is the trainer cache size in bytes.
+	cacheBytes int64
+	// samplerPartitions is 1 when the topology fits a Sampler GPU, or
+	// the number of partitions cycled through GPU memory when
+	// PartitionedSampling rescues an otherwise-OOM sampler.
+	samplerPartitions int
+	err               error
+}
+
+// topologyBytes returns the topology volume the workload's sampler needs
+// resident. Edge weights derive from a per-vertex attribute (registration
+// year, §7.1), so weighted sampling only adds one float per vertex — the
+// sampler computes a row's weight prefix on the fly, which the draw-rate
+// calibration already covers.
+func topologyBytes(cfg Config, d *gen.Dataset) int64 {
+	b := d.Graph.TopologyBytesUnweighted()
+	if cfg.Workload.Weighted {
+		b += int64(d.NumVertices()) * 4
+	}
+	return b
+}
+
+// planMemory performs the design-specific GPU memory accounting and
+// returns the resulting cache budget, or an OOM error mirroring the
+// paper's OOM cells. ledger, when non-nil, receives the breakdown for
+// Figure 3.
+func planMemory(cfg Config, d *gen.Dataset, vertexFeatureBytes int64) memPlan {
+	cost := cfg.Cost
+	capBytes := cfg.GPUMemory
+	topo := topologyBytes(cfg, d)
+	if !cfg.Sampler.OnGPU() {
+		// CPU sampling keeps the topology in host memory; nothing to
+		// load on the GPU and no GPU-side sampling workspace.
+		topo = 0
+	}
+	sampleWS := int64(float64(cfg.Workload.SampleWorkspaceBytes()) * cfg.SampleWSMultiplier / cfg.MemScale)
+	if !cfg.Sampler.OnGPU() {
+		sampleWS = 0
+	}
+	trainWS := int64(float64(cfg.Workload.TrainWorkspaceBytes()) / cfg.MemScale)
+	reserve := int64(float64(cost.RuntimeReserveBytes) / cfg.MemScale)
+	n := d.NumVertices()
+
+	plan := memPlan{topoBytes: topo, standbySlots: -1, samplerPartitions: 1}
+
+	// All accounting goes through the real device ledger, so OOM outcomes
+	// come from the same allocation machinery the Figure 3 breakdown uses.
+	fit := func(role string, parts map[string]int64) (int64, error) {
+		gpu := device.NewGPU(0, capBytes)
+		for label, bytes := range parts {
+			if err := gpu.Alloc(label, bytes); err != nil {
+				return 0, fmt.Errorf("system: %s: %s: %w", cfg.Name, role, err)
+			}
+		}
+		return gpu.Available(), nil
+	}
+
+	switch cfg.Design {
+	case DesignGNNLab:
+		if _, err := fit("sampler GPU", map[string]int64{
+			"reserve": reserve, "topology": topo, "sample-ws": sampleWS,
+		}); err != nil {
+			avail := capBytes - reserve - sampleWS
+			if !cfg.PartitionedSampling || avail <= 0 {
+				plan.err = err
+				return plan
+			}
+			plan.samplerPartitions = int((topo + avail - 1) / avail)
+		}
+		trainerFree, err := fit("trainer GPU", map[string]int64{
+			"reserve": reserve, "train-ws": trainWS,
+		})
+		if err != nil {
+			plan.err = err
+			return plan
+		}
+		plan.cacheSlots = slotsForPlan(cfg, trainerFree, vertexFeatureBytes, n)
+		standbyFree := capBytes - reserve - topo - sampleWS - trainWS
+		if standbyFree >= 0 {
+			plan.standbySlots = cache.SlotsFor(standbyFree, vertexFeatureBytes, n)
+		}
+
+	case DesignTimeSharing:
+		free, err := fit("GPU", map[string]int64{
+			"reserve": reserve, "topology": topo, "sample-ws": sampleWS, "train-ws": trainWS,
+		})
+		if err != nil {
+			plan.err = err
+			return plan
+		}
+		plan.cacheSlots = slotsForPlan(cfg, free, vertexFeatureBytes, n)
+
+	case DesignCPUSampling:
+		if _, err := fit("GPU", map[string]int64{
+			"reserve": reserve, "train-ws": trainWS,
+		}); err != nil {
+			plan.err = err
+			return plan
+		}
+		plan.cacheSlots = 0 // PyG has no feature cache
+
+	case DesignBatchMode:
+		if _, err := fit("sampling phase", map[string]int64{
+			"reserve": reserve, "topology": topo, "sample-ws": sampleWS,
+		}); err != nil {
+			plan.err = err
+			return plan
+		}
+		trainFree, err := fit("training phase", map[string]int64{
+			"reserve": reserve, "train-ws": trainWS,
+		})
+		if err != nil {
+			plan.err = err
+			return plan
+		}
+		plan.cacheSlots = slotsForPlan(cfg, trainFree, vertexFeatureBytes, n)
+
+	default:
+		plan.err = fmt.Errorf("system: %s: unknown design %v", cfg.Name, cfg.Design)
+	}
+
+	if !cfg.CacheEnabled {
+		plan.cacheSlots = 0
+		if plan.standbySlots > 0 {
+			plan.standbySlots = 0
+		}
+	}
+	plan.cacheBytes = int64(plan.cacheSlots) * vertexFeatureBytes
+	return plan
+}
+
+// slotsForPlan applies the cache-ratio override or derives slots from the
+// byte budget.
+func slotsForPlan(cfg Config, freeBytes, vertexFeatureBytes int64, n int) int {
+	if cfg.CacheRatioOverride > 0 {
+		slots := int(cfg.CacheRatioOverride * float64(n))
+		if slots > n {
+			slots = n
+		}
+		return slots
+	}
+	return cache.SlotsFor(freeBytes, vertexFeatureBytes, n)
+}
+
+// LedgerFor reports the Figure 3 memory breakdown: the labelled GPU
+// allocations of each role under the configured design.
+func LedgerFor(cfg Config, d *gen.Dataset) (sampler, trainer []device.Allocation, err error) {
+	cfg = cfg.withDefaults()
+	dim := d.FeatureDim
+	if cfg.FeatureDimOverride > 0 {
+		dim = cfg.FeatureDimOverride
+	}
+	plan := planMemory(cfg, d, int64(dim)*4)
+	if plan.err != nil {
+		return nil, nil, plan.err
+	}
+	sampleWS := int64(float64(cfg.Workload.SampleWorkspaceBytes()) * cfg.SampleWSMultiplier / cfg.MemScale)
+	reserveB := int64(float64(cfg.Cost.RuntimeReserveBytes) / cfg.MemScale)
+	trainWSB := int64(float64(cfg.Workload.TrainWorkspaceBytes()) / cfg.MemScale)
+	mkGPU := func(parts map[string]int64) ([]device.Allocation, error) {
+		g := device.NewGPU(0, cfg.GPUMemory)
+		for label, b := range parts {
+			if err := g.Alloc(label, b); err != nil {
+				return nil, err
+			}
+		}
+		return g.Ledger(), nil
+	}
+	switch cfg.Design {
+	case DesignGNNLab:
+		sampler, err = mkGPU(map[string]int64{
+			"reserve": reserveB, "topology": plan.topoBytes, "sample-ws": sampleWS,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		trainer, err = mkGPU(map[string]int64{
+			"reserve": reserveB, "train-ws": trainWSB, "feature-cache": plan.cacheBytes,
+		})
+		return sampler, trainer, err
+	case DesignCPUSampling:
+		shared, err := mkGPU(map[string]int64{
+			"reserve": reserveB, "train-ws": trainWSB,
+		})
+		return shared, shared, err
+	default:
+		shared, err := mkGPU(map[string]int64{
+			"reserve": reserveB, "topology": plan.topoBytes,
+			"sample-ws": sampleWS, "train-ws": trainWSB,
+			"feature-cache": plan.cacheBytes,
+		})
+		return shared, shared, err
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"gnnlab/internal/cache"
+	"gnnlab/internal/gen"
+	"gnnlab/internal/sampling"
+)
+
+// PreprocessCost is the Table 6 breakdown: the one-off costs paid before
+// epochs can run, amortized over a training job of hundreds of epochs.
+type PreprocessCost struct {
+	Dataset string
+	// DiskToDRAM loads graph topology and feature data from disk (P1).
+	DiskToDRAM float64
+	// LoadTopology and LoadCache are the DRAM→GPU-memory transfers (P2).
+	LoadTopology float64
+	LoadCache    float64
+	// PreSample is the PreSC#K pre-sampling plus hotness-map
+	// construction (P3).
+	PreSample float64
+}
+
+// DRAMToGPU returns the combined P2 cost.
+func (p PreprocessCost) DRAMToGPU() float64 { return p.LoadTopology + p.LoadCache }
+
+// Preprocess estimates the preprocessing cost of running cfg on d,
+// performing the real pre-sampling to cost P3.
+func Preprocess(ds *gen.Dataset, cfg Config) (PreprocessCost, error) {
+	cfg = cfg.withDefaults()
+	dim := ds.FeatureDim
+	if cfg.FeatureDimOverride > 0 {
+		dim = cfg.FeatureDimOverride
+	}
+	vfb := int64(dim) * 4
+
+	plan := planMemory(cfg, ds, vfb)
+	if plan.err != nil {
+		return PreprocessCost{}, plan.err
+	}
+	p := PreprocessCost{
+		Dataset:      ds.Name,
+		DiskToDRAM:   cfg.Cost.DiskLoadTime(ds.TopologyBytes() + int64(ds.NumVertices())*vfb),
+		LoadTopology: cfg.Cost.PCIeLoadTime(plan.topoBytes),
+		LoadCache:    cfg.Cost.PCIeLoadTime(plan.cacheBytes),
+	}
+	if cfg.CacheEnabled && cfg.CachePolicy == cache.PolicyPreSC {
+		res := cache.PreSC(ds.Graph, cfg.Workload.NewSampler(), ds.TrainSet, cfg.Workload.BatchSize, cfg.PreSCK, cfg.Seed^0x12345)
+		s := &sampling.Sample{SampledEdges: res.SampledEdges, ScannedEdges: res.ScannedEdges}
+		p.PreSample = cfg.Cost.SampleTime(s, cfg.Sampler, cfg.Workload.NumLayers())
+	}
+	return p, nil
+}

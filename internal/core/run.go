@@ -1,0 +1,498 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"gnnlab/internal/cache"
+	"gnnlab/internal/device"
+	"gnnlab/internal/gen"
+	"gnnlab/internal/rng"
+	"gnnlab/internal/sampling"
+	"gnnlab/internal/sched"
+	"gnnlab/internal/sim"
+)
+
+// Report is the measured outcome of running a system on a dataset: the
+// quantities the paper's tables and figures are built from. Stage times
+// are per-epoch totals summed over all executors (the convention of
+// Tables 1 and 5); EpochTime is the end-to-end makespan.
+type Report struct {
+	System   string
+	Workload string
+	Dataset  string
+
+	OOM       bool
+	OOMReason string
+
+	NumGPUs int
+	Alloc   sched.Allocation
+	Batches int
+	Epochs  int
+
+	// Per-epoch stage totals (seconds).
+	SampleG     float64 // graph sampling proper ("G")
+	SampleM     float64 // marking cached vertices ("M")
+	SampleC     float64 // copying samples to the host queue ("C")
+	SampleTotal float64 // G + M + C
+	ExtractTot  float64
+	TrainTot    float64
+	// EpochTime is the simulated end-to-end time of one epoch.
+	EpochTime float64
+
+	// TsAvg and TtAvg are the per-mini-batch Sampler and Trainer times
+	// the flexible scheduler used.
+	TsAvg, TtAvg float64
+
+	CacheRatio       float64
+	HitRate          float64
+	TransferredBytes int64 // per-epoch host→GPU feature traffic
+	TasksByStandby   int
+	// SamplerPartitions is 1 normally; >1 when partitioned sampling
+	// cycles an oversized topology through Sampler GPU memory.
+	SamplerPartitions int
+
+	// PreSampleTime is the one-off pre-sampling cost when PreSC is the
+	// policy (Table 6, P3).
+	PreSampleTime float64
+
+	// Timeline is the first measured epoch's per-task execution trace
+	// (only when Config.Trace is set).
+	Timeline []sim.TaskTiming
+}
+
+// String renders a compact one-line summary.
+func (r *Report) String() string {
+	if r.OOM {
+		return fmt.Sprintf("%s/%s/%s: OOM (%s)", r.System, r.Workload, r.Dataset, r.OOMReason)
+	}
+	return fmt.Sprintf("%s/%s/%s (%s): epoch %.3fs  S %.3f (G %.3f M %.3f C %.3f)  E %.3f (R %.0f%%, H %.0f%%)  T %.3f",
+		r.System, r.Workload, r.Dataset, r.Alloc, r.EpochTime,
+		r.SampleTotal, r.SampleG, r.SampleM, r.SampleC,
+		r.ExtractTot, 100*r.CacheRatio, 100*r.HitRate, r.TrainTot)
+}
+
+// batchWork is the real measured work of one mini-batch, gathered before
+// durations are assigned (so the flexible scheduler can re-cost the same
+// work under any allocation).
+type batchWork struct {
+	sampledEdges int64
+	scannedEdges int64
+	walks        int64
+	numInput     int
+	sampleBytes  int64
+	hits, misses int
+	standbyHits  int
+	standbyMiss  int
+	flops        float64
+}
+
+// runner carries the run-wide constants the duration helpers need.
+type runner struct {
+	cfg Config
+	vfb int64 // per-vertex feature bytes in effect
+}
+
+// Run executes cfg against dataset d and returns the measured report.
+// OOM is reported in the Report (not as an error), mirroring the paper's
+// OOM table cells; errors indicate invalid configurations.
+func Run(d *gen.Dataset, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	dim := d.FeatureDim
+	if cfg.FeatureDimOverride > 0 {
+		dim = cfg.FeatureDimOverride
+	}
+	rn := runner{cfg: cfg, vfb: int64(dim) * 4}
+
+	rep := &Report{
+		System:   cfg.Name,
+		Workload: cfg.Workload.Name(),
+		Dataset:  d.Name,
+		NumGPUs:  cfg.NumGPUs,
+		Epochs:   cfg.Epochs,
+		Batches:  sampling.NumBatches(len(d.TrainSet), cfg.Workload.BatchSize),
+	}
+
+	plan := planMemory(cfg, d, rn.vfb)
+	if plan.err != nil {
+		rep.OOM = true
+		rep.OOMReason = plan.err.Error()
+		return rep, nil
+	}
+	if cfg.Design == DesignGNNLab && cfg.NumGPUs == 1 && plan.standbySlots < 0 {
+		rep.OOM = true
+		rep.OOMReason = "single GPU cannot hold topology and training workspace together"
+		return rep, nil
+	}
+
+	// Build the cache table from the configured policy.
+	n := d.NumVertices()
+	var table, standbyTable *cache.Table
+	var err error
+	if plan.cacheSlots > 0 || plan.standbySlots > 0 {
+		var ranking []int32
+		var preTime float64
+		ranking, preTime, err = buildRanking(cfg, d)
+		if err != nil {
+			return nil, err
+		}
+		rep.PreSampleTime = preTime
+		table, err = cache.Load(ranking, plan.cacheSlots, n, rn.vfb)
+		if err != nil {
+			return nil, err
+		}
+		if plan.standbySlots >= 0 {
+			standbyTable, err = cache.Load(ranking, plan.standbySlots, n, rn.vfb)
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		table = cache.Empty(n, rn.vfb)
+		if plan.standbySlots >= 0 {
+			standbyTable = cache.Empty(n, rn.vfb)
+		}
+	}
+	rep.CacheRatio = table.Ratio()
+
+	// Measure the real sampling work of every epoch. When the system
+	// uses the reservoir sampler (DGL), measure with it so the scanned
+	// adjacency-entry counts — its cost basis — are real; the sampled
+	// distribution is equivalent.
+	alg := sampling.CloneAlgorithm(cfg.Workload.NewSampler())
+	if cfg.Sampler == device.SamplerGPUReservoir {
+		if kh, ok := alg.(*sampling.KHop); ok {
+			alg = sampling.NewKHop(kh.Fanouts, sampling.Reservoir)
+		}
+	}
+	r := rng.New(cfg.Seed)
+	epochs := make([][]batchWork, cfg.Epochs)
+	for e := 0; e < cfg.Epochs; e++ {
+		er := r.Split(uint64(e))
+		batches := sampling.Batches(d.TrainSet, cfg.Workload.BatchSize, er)
+		work := make([]batchWork, 0, len(batches))
+		for _, batch := range batches {
+			s := alg.Sample(d.Graph, batch, er)
+			w := batchWork{
+				sampledEdges: s.SampledEdges,
+				scannedEdges: s.ScannedEdges,
+				walks:        s.Walks,
+				numInput:     s.NumInput(),
+				sampleBytes:  s.Bytes(),
+				flops:        cfg.Workload.TrainFLOPs(s, dim),
+			}
+			w.hits, w.misses = table.Extract(s.Input)
+			if standbyTable != nil {
+				w.standbyHits, w.standbyMiss = countHits(standbyTable, s.Input)
+			}
+			work = append(work, w)
+		}
+		epochs[e] = work
+	}
+	stats := table.Stats()
+	rep.HitRate = stats.HitRate()
+	rep.TransferredBytes = stats.MissBytes / int64(cfg.Epochs)
+
+	rep.SamplerPartitions = plan.samplerPartitions
+	switch cfg.Design {
+	case DesignGNNLab:
+		return rn.runGNNLab(rep, plan, epochs, standbyTable != nil)
+	case DesignTimeSharing:
+		return rn.runTimeSharing(rep, epochs)
+	case DesignCPUSampling:
+		return rn.runCPUSampling(rep, epochs)
+	case DesignBatchMode:
+		return rn.runBatchMode(rep, plan, epochs)
+	default:
+		return nil, fmt.Errorf("system: unknown design %v", cfg.Design)
+	}
+}
+
+// countHits probes a table without touching its accumulated counters.
+func countHits(t *cache.Table, input []int32) (hits, misses int) {
+	for _, v := range input {
+		if t.IsCached(v) {
+			hits++
+		} else {
+			misses++
+		}
+	}
+	return hits, misses
+}
+
+// buildRanking produces the cache ranking for the configured policy and
+// the pre-sampling cost when the policy is PreSC.
+func buildRanking(cfg Config, d *gen.Dataset) ([]int32, float64, error) {
+	g := d.Graph
+	switch cfg.CachePolicy {
+	case cache.PolicyDegree:
+		return cache.DegreeHotness(g).Rank(), 0, nil
+	case cache.PolicyRandom:
+		return cache.RandomHotness(g.NumVertices(), rng.New(cfg.Seed^0x5EED)).Rank(), 0, nil
+	case cache.PolicyPreSC:
+		res := cache.PreSC(g, cfg.Workload.NewSampler(), d.TrainSet, cfg.Workload.BatchSize, cfg.PreSCK, cfg.Seed^0x12345)
+		s := &sampling.Sample{SampledEdges: res.SampledEdges, ScannedEdges: res.ScannedEdges}
+		t := cfg.Cost.SampleTime(s, cfg.Sampler, cfg.Workload.NumLayers())
+		return res.Hotness.Rank(), t, nil
+	case cache.PolicyOptimal:
+		// The oracle sees the measured run itself: identical seed and
+		// epoch count reproduce the exact footprint (§3 footnote 4).
+		fp := cache.CollectFootprint(g, cfg.Workload.NewSampler(), d.TrainSet, cfg.Workload.BatchSize, cfg.Epochs, cfg.Seed)
+		return fp.OptimalHotness().Rank(), 0, nil
+	default:
+		return nil, 0, fmt.Errorf("system: unknown cache policy %v", cfg.CachePolicy)
+	}
+}
+
+// sampleDuration costs the core graph sampling ("G") of one batch.
+func (rn runner) sampleDuration(w batchWork) float64 {
+	s := &sampling.Sample{SampledEdges: w.sampledEdges, ScannedEdges: w.scannedEdges, Walks: w.walks}
+	return rn.cfg.Cost.SampleTime(s, rn.cfg.Sampler, rn.cfg.Workload.NumLayers())
+}
+
+// markAndCopy returns the GNNLab sample-stage extras ("M" and "C").
+func (rn runner) markAndCopy(w batchWork) (mark, copyT float64) {
+	if rn.cfg.CacheEnabled {
+		mark = rn.cfg.Cost.MarkTime(w.numInput)
+	}
+	return mark, rn.cfg.Cost.QueueCopyTime(w.sampleBytes)
+}
+
+// extractOnly costs the Extract stage of one batch.
+func (rn runner) extractOnly(w batchWork, concurrent int, standby bool) float64 {
+	hits, misses := w.hits, w.misses
+	if standby {
+		hits, misses = w.standbyHits, w.standbyMiss
+	}
+	return rn.cfg.Cost.ExtractTime(int64(hits)*rn.vfb, int64(misses)*rn.vfb, concurrent)
+}
+
+// trainerDuration costs a GNNLab Trainer's pre-train work on one batch:
+// loading the sample from the host queue plus the Extract stage.
+func (rn runner) trainerDuration(w batchWork, numTrainers int, standby bool) float64 {
+	if numTrainers < 1 {
+		numTrainers = 1
+	}
+	return rn.cfg.Cost.PCIeLoadTime(w.sampleBytes) + rn.extractOnly(w, numTrainers, standby)
+}
+
+// runGNNLab simulates the factored design.
+func (rn runner) runGNNLab(rep *Report, plan memPlan, epochs [][]batchWork, haveStandby bool) (*Report, error) {
+	cfg := rn.cfg
+	// Partitioned sampling (§5.2 future work): each hop of each epoch
+	// cycles every partition through GPU memory once; the reload cost is
+	// amortized over the epoch's mini-batches as extra Sample time.
+	var reloadPerBatch float64
+	if plan.samplerPartitions > 1 {
+		per := cfg.Cost.PCIeLoadTime(plan.topoBytes / int64(plan.samplerPartitions))
+		reloadPerEpoch := float64(plan.samplerPartitions) * per * float64(cfg.Workload.NumLayers())
+		reloadPerBatch = reloadPerEpoch / float64(len(epochs[0]))
+	}
+	// Probe epoch 0 to estimate T_s and T_t for flexible scheduling.
+	var tsSum, ttSum float64
+	probe := epochs[0]
+	for _, w := range probe {
+		mark, copyT := rn.markAndCopy(w)
+		tsSum += rn.sampleDuration(w) + mark + copyT + reloadPerBatch
+		ttSum += rn.trainerDuration(w, 1, false) + cfg.Cost.TrainTime(w.flops)
+	}
+	nb := float64(len(probe))
+	rep.TsAvg, rep.TtAvg = tsSum/nb, ttSum/nb
+
+	alloc := sched.Allocate(cfg.NumGPUs, rep.TsAvg, rep.TtAvg)
+	if cfg.ForceSamplers > 0 {
+		ns := cfg.ForceSamplers
+		if ns > cfg.NumGPUs {
+			ns = cfg.NumGPUs
+		}
+		alloc = sched.Allocation{Samplers: ns, Trainers: cfg.NumGPUs - ns}
+	}
+	rep.Alloc = alloc
+
+	switching := cfg.DynamicSwitching || alloc.Trainers == 0
+	if switching && !haveStandby {
+		if alloc.Trainers == 0 {
+			rep.OOM = true
+			rep.OOMReason = "no trainer GPUs and standby trainer does not fit"
+			return rep, nil
+		}
+		switching = false
+	}
+
+	var makespans, sg, sm, sc, et, tt float64
+	for _, work := range epochs {
+		tasks := make([]sim.Task, len(work))
+		var standbyTaskSum float64
+		for i, w := range work {
+			g := rn.sampleDuration(w) + reloadPerBatch
+			mark, copyT := rn.markAndCopy(w)
+			extr := rn.trainerDuration(w, alloc.Trainers, false)
+			train := cfg.Cost.TrainTime(w.flops)
+			tasks[i] = sim.Task{Sample: g + mark + copyT, Extract: extr, Train: train}
+			if switching {
+				tasks[i].StandbyExtract = rn.trainerDuration(w, alloc.Trainers, true)
+				standbyTaskSum += tasks[i].StandbyExtract + train
+			}
+			sg += g
+			sm += mark
+			sc += copyT
+			et += extr
+			tt += train
+		}
+		opts := sim.ConsumeOptions{
+			NumTrainers:     alloc.Trainers,
+			Sync:            cfg.Sync,
+			Pipelined:       cfg.Pipelined,
+			TrainerTaskTime: rep.TtAvg,
+			Trace:           cfg.Trace && rep.Timeline == nil,
+			TrainerSlowdown: cfg.TrainerSlowdown,
+		}
+		if switching {
+			opts.StandbyAvailable = []float64{} // filled in by RunEpoch
+			opts.StandbyTaskTime = standbyTaskSum / float64(len(work))
+		}
+		res := sim.RunEpoch(tasks, alloc.Samplers, opts)
+		makespans += res.Makespan
+		rep.TasksByStandby += res.TasksByStandby
+		if res.Timeline != nil {
+			rep.Timeline = res.Timeline
+		}
+	}
+	rn.finishAverages(rep, makespans, sg, sm, sc, et, tt)
+	return rep, nil
+}
+
+// runTimeSharing simulates the conventional design (DGL, T_SOTA): every
+// GPU performs Sample→Extract→Train sequentially on its own mini-batches.
+func (rn runner) runTimeSharing(rep *Report, epochs [][]batchWork) (*Report, error) {
+	cfg := rn.cfg
+	var makespans, sg, sm, et, tt float64
+	for _, work := range epochs {
+		tasks := make([]sim.Task, len(work))
+		for i, w := range work {
+			g := rn.sampleDuration(w)
+			var mark float64
+			if cfg.CacheEnabled {
+				mark = cfg.Cost.MarkTime(w.numInput)
+			}
+			extr := rn.extractOnly(w, cfg.NumGPUs, false)
+			train := cfg.Cost.TrainTime(w.flops)
+			// Time sharing serializes S, E and T on one GPU: fold the
+			// pre-train stages into the consumer's Extract slot.
+			tasks[i] = sim.Task{Extract: g + mark + extr, Train: train}
+			sg += g
+			sm += mark
+			et += extr
+			tt += train
+		}
+		res := sim.Consume(tasks, sim.ConsumeOptions{
+			NumTrainers: cfg.NumGPUs,
+			Sync:        cfg.Sync,
+			Pipelined:   cfg.Pipelined,
+			Trace:       cfg.Trace && rep.Timeline == nil,
+		})
+		makespans += res.Makespan
+		if res.Timeline != nil {
+			rep.Timeline = res.Timeline
+		}
+	}
+	rep.Alloc = sched.Allocation{Samplers: 0, Trainers: cfg.NumGPUs}
+	rn.finishAverages(rep, makespans, sg, sm, 0, et, tt)
+	return rep, nil
+}
+
+// runCPUSampling simulates the PyG baseline: host CPU workers sample,
+// GPUs extract (uncached) and train.
+func (rn runner) runCPUSampling(rep *Report, epochs [][]batchWork) (*Report, error) {
+	cfg := rn.cfg
+	var makespans, sg, et, tt float64
+	for _, work := range epochs {
+		tasks := make([]sim.Task, len(work))
+		for i, w := range work {
+			g := rn.sampleDuration(w)
+			extr := rn.extractOnly(w, cfg.NumGPUs, false)
+			train := cfg.Cost.TrainTime(w.flops)
+			tasks[i] = sim.Task{Sample: g, Extract: extr, Train: train}
+			sg += g
+			et += extr
+			tt += train
+		}
+		res := sim.RunEpoch(tasks, cfg.CPUSamplerWorkers, sim.ConsumeOptions{
+			NumTrainers: cfg.NumGPUs,
+			Sync:        cfg.Sync,
+			Pipelined:   cfg.Pipelined,
+			Trace:       cfg.Trace && rep.Timeline == nil,
+		})
+		makespans += res.Makespan
+		if res.Timeline != nil {
+			rep.Timeline = res.Timeline
+		}
+	}
+	rep.Alloc = sched.Allocation{Samplers: 0, Trainers: cfg.NumGPUs}
+	rn.finishAverages(rep, makespans, sg, 0, 0, et, tt)
+	return rep, nil
+}
+
+// runBatchMode simulates the AGL-style design: per epoch, all GPUs load
+// topology and sample everything, then swap to the feature cache and train.
+func (rn runner) runBatchMode(rep *Report, plan memPlan, epochs [][]batchWork) (*Report, error) {
+	cfg := rn.cfg
+	topoLoad := cfg.Cost.PCIeLoadTime(plan.topoBytes)
+	cacheLoad := cfg.Cost.PCIeLoadTime(plan.cacheBytes)
+	var makespans, sg, sm, et, tt float64
+	for _, work := range epochs {
+		tasks := make([]sim.Task, len(work))
+		for i, w := range work {
+			g := rn.sampleDuration(w)
+			var mark float64
+			if cfg.CacheEnabled {
+				mark = cfg.Cost.MarkTime(w.numInput)
+			}
+			tasks[i] = sim.Task{Sample: g + mark}
+			sg += g
+			sm += mark
+		}
+		finish := sim.Produce(tasks, cfg.NumGPUs, topoLoad)
+		var sampleEnd float64
+		for _, f := range finish {
+			if f > sampleEnd {
+				sampleEnd = f
+			}
+		}
+		// Swap phase: topology out, cache in, then consume everything.
+		for i, w := range work {
+			tasks[i].Ready = 0
+			tasks[i].Extract = rn.extractOnly(w, cfg.NumGPUs, false)
+			tasks[i].Train = cfg.Cost.TrainTime(w.flops)
+			et += tasks[i].Extract
+			tt += tasks[i].Train
+		}
+		res := sim.Consume(tasks, sim.ConsumeOptions{
+			NumTrainers: cfg.NumGPUs,
+			Sync:        cfg.Sync,
+			Pipelined:   cfg.Pipelined,
+		})
+		makespans += sampleEnd + cacheLoad + res.Makespan
+	}
+	rep.Alloc = sched.Allocation{Samplers: cfg.NumGPUs, Trainers: cfg.NumGPUs}
+	rn.finishAverages(rep, makespans, sg, sm, 0, et, tt)
+	return rep, nil
+}
+
+// finishAverages divides accumulated sums by the epoch count.
+func (rn runner) finishAverages(rep *Report, makespans, sg, sm, sc, et, tt float64) {
+	n := float64(rn.cfg.Epochs)
+	rep.EpochTime = makespans / n
+	rep.SampleG = sg / n
+	rep.SampleM = sm / n
+	rep.SampleC = sc / n
+	rep.SampleTotal = rep.SampleG + rep.SampleM + rep.SampleC
+	rep.ExtractTot = et / n
+	rep.TrainTot = tt / n
+}
+
+// IsOOM reports whether err stems from GPU memory exhaustion.
+func IsOOM(err error) bool { return errors.Is(err, device.ErrOutOfMemory) }

@@ -1,0 +1,194 @@
+package device
+
+import "gnnlab/internal/sampling"
+
+// Seconds is a simulated duration. The cost model converts real measured
+// work into Seconds; the discrete-event engine adds them up.
+type Seconds = float64
+
+// CostModel holds the calibrated rates of the simulated testbed. All rates
+// are 1/100 of V100-class hardware so that, paired with the 1/100-scale
+// datasets, simulated epoch times land in the same range as the paper's
+// reported seconds. Calibration anchors (paper Table 1/5/6 on PA):
+//
+//   - GPU Fisher–Yates sampling: G = 0.68 s for a PA epoch of ~1.4 M
+//     scaled draws → 2.1 M draws/s scaled (~210 M/s real; each draw's
+//     true cost includes frontier management and dedup, so the rate is
+//     well below raw memory bandwidth).
+//   - GPU reservoir sampling scans full adjacency lists and pays a
+//     Python→CUDA invocation overhead per hop (DGL "S" = 1.20 s).
+//   - PCIe: 16 GB/s → 160 MB/s scaled.
+//   - Host gather (CPU-side feature collection feeding PCIe):
+//     ~2.4 GB/s effective real → 24 MB/s scaled, *shared* across
+//     concurrent extractors (DGL "E" = 10.70 s for 25.3 GB).
+//   - GPU-side gather from the feature cache: 500 GB/s → 5 GB/s scaled.
+//   - Cache marking: 500 M vertices/s → 5 M/s scaled ("M" = 0.10 s).
+//   - Queue copy (samples to host memory): ~32 GB/s multi-threaded
+//     streaming memcpy → 320 MB/s scaled ("C" = 0.18 s).
+//   - Training: GNN training is memory-bound; the effective rate that
+//     reproduces the paper's Train times is ~2.2 TFLOP/s real (≈7 % of
+//     V100 peak) → 22 GFLOP/s scaled.
+//   - Disk: 1.2 GB/s → 12 MB/s scaled (Table 6 disk→DRAM).
+type CostModel struct {
+	// Sampling rates (units per second).
+	GPUSampleDrawsPerSec   float64 // Fisher–Yates: per neighbor draw
+	GPUSampleScansPerSec   float64 // reservoir: per adjacency entry scanned
+	GPUWalkStepsPerSec     float64 // random-walk step
+	CPUSampleDrawsPerSec   float64 // optimized C++ CPU sampler (DGL on CPU)
+	PySampleDrawsPerSec    float64 // Python-side CPU sampler (PyG)
+	SampleBatchOverhead    Seconds // kernel launches per mini-batch per hop
+	PyInvokeOverhead       Seconds // Python→CUDA overhead per hop (DGL)
+	PyInvokeWalkMultiplier float64 // random walks invoke more kernels (§7.3)
+
+	// Extract rates.
+	PCIeBytesPerSec float64 // host→GPU link, per GPU
+	// HostGatherBytesPerSec is one extractor's CPU-side gather rate;
+	// HostGatherTotalBytesPerSec caps the machine-wide aggregate, so
+	// beyond Total/PerExtractor concurrent extractors they contend
+	// (the sub-linear baseline scaling of Fig 14).
+	HostGatherBytesPerSec      float64
+	HostGatherTotalBytesPerSec float64
+	GPUGatherBytesPerSec       float64 // cache-hit gather inside GPU memory
+
+	// Sample-stage extras (GNNLab).
+	MarkVerticesPerSec   float64 // cache marking ("M")
+	QueueCopyBytesPerSec float64 // sample copy to/from host queue ("C")
+
+	// Training.
+	TrainFLOPsPerSec   float64
+	TrainBatchOverhead Seconds // per-iteration launch/allreduce overhead
+
+	// Preprocessing.
+	DiskBytesPerSec float64
+
+	// Memory model: runtime footprints that compete with the feature
+	// cache for GPU memory (§3, Figure 3). RuntimeReserve covers the
+	// CUDA context and framework overhead.
+	RuntimeReserveBytes int64
+}
+
+// DefaultCostModel returns the calibrated testbed (see the doc comment).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		GPUSampleDrawsPerSec:   2.1e6,
+		GPUSampleScansPerSec:   20e6,
+		GPUWalkStepsPerSec:     8e6,
+		CPUSampleDrawsPerSec:   285e3,
+		PySampleDrawsPerSec:    20e3,
+		SampleBatchOverhead:    0.15e-3,
+		PyInvokeOverhead:       2.0e-3,
+		PyInvokeWalkMultiplier: 3.0,
+
+		PCIeBytesPerSec:            160e6,
+		HostGatherBytesPerSec:      24e6,
+		HostGatherTotalBytesPerSec: 96e6,
+		GPUGatherBytesPerSec:       5e9,
+
+		MarkVerticesPerSec:   5e6,
+		QueueCopyBytesPerSec: 320e6,
+
+		TrainFLOPsPerSec:   22e9,
+		TrainBatchOverhead: 2.0e-3,
+
+		DiskBytesPerSec: 12e6,
+
+		RuntimeReserveBytes: 10 << 20, // 1 GB real
+	}
+}
+
+// DefaultGPUMemory is the scaled V100: 16 GB / 100.
+const DefaultGPUMemory int64 = 160 << 20
+
+// SamplerKind selects which sampling cost profile applies.
+type SamplerKind int
+
+const (
+	// SamplerGPUFisherYates is the GPU-friendly O(k)-per-vertex sampler
+	// (GNNLab, T_SOTA).
+	SamplerGPUFisherYates SamplerKind = iota
+	// SamplerGPUReservoir is DGL's O(degree)-per-vertex GPU sampler with
+	// Python invocation overhead.
+	SamplerGPUReservoir
+	// SamplerCPU samples on host CPUs with an optimized native sampler
+	// (DGL's default CPU path, Table 1).
+	SamplerCPU
+	// SamplerCPUPython samples on host CPUs through a Python dataloader
+	// (the PyG baseline).
+	SamplerCPUPython
+)
+
+// OnGPU reports whether the sampler keeps graph topology in GPU memory.
+func (k SamplerKind) OnGPU() bool {
+	return k == SamplerGPUFisherYates || k == SamplerGPUReservoir
+}
+
+// SampleTime costs the Sample stage for one mini-batch, excluding the
+// GNNLab-specific mark and copy extras (cost those with MarkTime and
+// QueueCopyTime).
+func (m CostModel) SampleTime(s *sampling.Sample, kind SamplerKind, numHops int) Seconds {
+	walkCost := float64(s.Walks) / m.GPUWalkStepsPerSec
+	switch kind {
+	case SamplerGPUReservoir:
+		t := float64(s.ScannedEdges)/m.GPUSampleScansPerSec + walkCost
+		over := m.PyInvokeOverhead
+		if s.Walks > 0 {
+			over *= m.PyInvokeWalkMultiplier
+		}
+		return t + float64(numHops)*(m.SampleBatchOverhead+over)
+	case SamplerCPU:
+		return float64(s.SampledEdges+s.Walks) / m.CPUSampleDrawsPerSec
+	case SamplerCPUPython:
+		return float64(s.SampledEdges+s.Walks) / m.PySampleDrawsPerSec
+	default: // SamplerGPUFisherYates
+		t := float64(s.SampledEdges)/m.GPUSampleDrawsPerSec + walkCost
+		return t + float64(numHops)*m.SampleBatchOverhead
+	}
+}
+
+// MarkTime costs marking cached vertices in a sample ("M" in Table 5).
+func (m CostModel) MarkTime(numInput int) Seconds {
+	return float64(numInput) / m.MarkVerticesPerSec
+}
+
+// QueueCopyTime costs copying a sample to or from the host-memory global
+// queue ("C" in Table 5).
+func (m CostModel) QueueCopyTime(sampleBytes int64) Seconds {
+	return float64(sampleBytes) / m.QueueCopyBytesPerSec
+}
+
+// ExtractTime costs the Extract stage of one mini-batch: missBytes flow
+// host→GPU through the slower of the PCIe link and this extractor's share
+// of host gather bandwidth; hitBytes are gathered inside GPU memory.
+// concurrentExtractors models host-bandwidth contention (the sub-linear
+// baseline scaling of Fig 14): the time-sharing designs run an extractor
+// per GPU, GNNLab one per trainer.
+func (m CostModel) ExtractTime(hitBytes, missBytes int64, concurrentExtractors int) Seconds {
+	if concurrentExtractors < 1 {
+		concurrentExtractors = 1
+	}
+	hostShare := m.HostGatherTotalBytesPerSec / float64(concurrentExtractors)
+	if m.HostGatherBytesPerSec < hostShare {
+		hostShare = m.HostGatherBytesPerSec
+	}
+	missBW := m.PCIeBytesPerSec
+	if hostShare < missBW {
+		missBW = hostShare
+	}
+	return float64(missBytes)/missBW + float64(hitBytes)/m.GPUGatherBytesPerSec
+}
+
+// TrainTime costs one training iteration of the given FLOP count.
+func (m CostModel) TrainTime(flops float64) Seconds {
+	return flops/m.TrainFLOPsPerSec + m.TrainBatchOverhead
+}
+
+// PCIeLoadTime costs a bulk host→GPU preload (graph topology, feature
+// cache) at full PCIe bandwidth.
+func (m CostModel) PCIeLoadTime(bytes int64) Seconds {
+	return float64(bytes) / m.PCIeBytesPerSec
+}
+
+// DiskLoadTime costs a disk→DRAM load (Table 6, P1).
+func (m CostModel) DiskLoadTime(bytes int64) Seconds {
+	return float64(bytes) / m.DiskBytesPerSec
+}

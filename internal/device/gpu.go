@@ -1,0 +1,147 @@
+// Package device models the hardware substrate the paper's testbed
+// provides: GPUs with limited memory (byte-accurate allocation ledger whose
+// exhaustion is the OOM the evaluation tables report), PCIe links, host
+// memory bandwidth shared across concurrent extractors, and a calibrated
+// cost model translating real measured work (sampled edges, missed feature
+// bytes, training FLOPs) into simulated stage durations.
+//
+// Everything is scaled 1/100 from the paper's V100 testbed, matching the
+// 1/100-scale datasets of internal/gen, so all capacity ratios are
+// preserved (see DESIGN.md).
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrOutOfMemory is returned when an allocation exceeds a GPU's capacity.
+// This is the "OOM" the paper's Tables 4 and 5 report for DGL and T_SOTA
+// on the UK dataset.
+var ErrOutOfMemory = errors.New("device: out of GPU memory")
+
+// GPU is a device with a fixed memory capacity and a labelled allocation
+// ledger. The ledger makes memory pressure inspectable: Figure 3's
+// per-stage memory breakdown is a dump of it.
+type GPU struct {
+	id       int
+	capacity int64
+
+	mu     sync.Mutex
+	allocs map[string]int64
+	used   int64
+}
+
+// NewGPU returns a GPU with the given ID and capacity in bytes.
+func NewGPU(id int, capacity int64) *GPU {
+	if capacity <= 0 {
+		panic("device: NewGPU with non-positive capacity")
+	}
+	return &GPU{id: id, capacity: capacity, allocs: map[string]int64{}}
+}
+
+// ID returns the device index.
+func (g *GPU) ID() int { return g.id }
+
+// Capacity returns total memory in bytes.
+func (g *GPU) Capacity() int64 { return g.capacity }
+
+// Used returns currently allocated bytes.
+func (g *GPU) Used() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.used
+}
+
+// Available returns unallocated bytes.
+func (g *GPU) Available() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.capacity - g.used
+}
+
+// Alloc reserves bytes under label, failing with ErrOutOfMemory (wrapped
+// with the label and sizes) when capacity would be exceeded. Allocating an
+// existing label grows it.
+func (g *GPU) Alloc(label string, bytes int64) error {
+	if bytes < 0 {
+		return fmt.Errorf("device: negative allocation %d for %q", bytes, label)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.used+bytes > g.capacity {
+		return fmt.Errorf("device: gpu%d alloc %q (%d B): used %d of %d: %w",
+			g.id, label, bytes, g.used, g.capacity, ErrOutOfMemory)
+	}
+	g.allocs[label] += bytes
+	g.used += bytes
+	return nil
+}
+
+// Free releases the entire allocation under label. Freeing an unknown
+// label is a no-op.
+func (g *GPU) Free(label string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.used -= g.allocs[label]
+	delete(g.allocs, label)
+}
+
+// Reset releases every allocation.
+func (g *GPU) Reset() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.allocs = map[string]int64{}
+	g.used = 0
+}
+
+// Allocation describes one ledger entry.
+type Allocation struct {
+	Label string
+	Bytes int64
+}
+
+// Ledger returns the current allocations sorted by label.
+func (g *GPU) Ledger() []Allocation {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Allocation, 0, len(g.allocs))
+	for label, bytes := range g.allocs {
+		out = append(out, Allocation{Label: label, Bytes: bytes})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// Cluster is the single-machine multi-GPU setup: N identical GPUs plus the
+// host CPU description.
+type Cluster struct {
+	GPUs []*GPU
+	// CPUSamplerWorkers is how many parallel CPU sampling workers the
+	// host sustains (the PyG baseline's sampler pool).
+	CPUSamplerWorkers int
+}
+
+// NewCluster builds n GPUs of capacityBytes each.
+func NewCluster(n int, capacityBytes int64, cpuWorkers int) *Cluster {
+	if n <= 0 {
+		panic("device: NewCluster with no GPUs")
+	}
+	c := &Cluster{CPUSamplerWorkers: cpuWorkers}
+	for i := 0; i < n; i++ {
+		c.GPUs = append(c.GPUs, NewGPU(i, capacityBytes))
+	}
+	return c
+}
+
+// NumGPUs returns the GPU count.
+func (c *Cluster) NumGPUs() int { return len(c.GPUs) }
+
+// Reset clears every GPU's ledger.
+func (c *Cluster) Reset() {
+	for _, g := range c.GPUs {
+		g.Reset()
+	}
+}

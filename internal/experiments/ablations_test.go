@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationAGLReloadPenalty(t *testing.T) {
+	tbl := runExp(t, "ablation-agl")
+	// On TW (small epochs, large cache reload) AGL must be clearly
+	// slower than GNNLab.
+	for _, row := range tbl.Rows {
+		if row[0] != "TW" {
+			continue
+		}
+		gl := cellFloat(t, row[1])
+		agl := cellFloat(t, row[2])
+		if agl <= gl {
+			t.Errorf("TW: AGL %.3f not slower than GNNLab %.3f", agl, gl)
+		}
+	}
+}
+
+func TestAblationPipelineOrdering(t *testing.T) {
+	tbl := runExp(t, "ablation-pipeline")
+	// Rows: (pipelined,sync) in order: (t,s) (t,a) (f,s) (f,a).
+	ts := cellFloat(t, tbl.Rows[0][2])
+	fs := cellFloat(t, tbl.Rows[2][2])
+	if ts > fs*1.001 {
+		t.Errorf("pipelined sync %.3f slower than unpipelined sync %.3f", ts, fs)
+	}
+	ta := cellFloat(t, tbl.Rows[1][2])
+	if ta > ts*1.001 {
+		t.Errorf("async %.3f slower than sync %.3f", ta, ts)
+	}
+}
+
+func TestAblationSubgraphShrinksPreSCEdge(t *testing.T) {
+	tbl := runExp(t, "ablation-subgraph")
+	// Header: Algorithm Sim Random Degree PreSC#1 Optimal PreSC/Optimal
+	var khopEdge, clusterEdge float64
+	for _, row := range tbl.Rows {
+		presc := cellFloat(t, row[4])
+		random := cellFloat(t, row[2])
+		switch row[0] {
+		case "3-hop random":
+			khopEdge = presc - random
+		case "ClusterGCN":
+			clusterEdge = presc - random
+		}
+	}
+	if clusterEdge >= khopEdge {
+		t.Errorf("PreSC edge over Random did not shrink: cluster %+.1f vs k-hop %+.1f",
+			clusterEdge, khopEdge)
+	}
+}
+
+func TestAblationPartitionRescuesOOM(t *testing.T) {
+	tbl := runExp(t, "ablation-partition")
+	rescued := false
+	for _, row := range tbl.Rows {
+		if row[1] == "OOM" && row[2] != "OOM" {
+			rescued = true
+			if !strings.Contains(row[3], "") && row[3] == "1" {
+				t.Errorf("rescued row reports %s partitions", row[3])
+			}
+		}
+	}
+	if !rescued {
+		t.Error("no memory size showed partitioned sampling rescuing an OOM")
+	}
+	// Full-memory row: both modes agree and use one partition.
+	first := tbl.Rows[0]
+	if first[1] == "OOM" || first[3] != "1" {
+		t.Errorf("full-memory row unexpected: %v", first)
+	}
+}
+
+func TestAblationContentionShape(t *testing.T) {
+	tbl := runExp(t, "ablation-contention")
+	// Header: Slowdown Sync Async Async+switching
+	for _, row := range tbl.Rows {
+		syncT := cellFloat(t, row[1])
+		asyncT := cellFloat(t, row[2])
+		switchT := cellFloat(t, row[3])
+		if asyncT > syncT*1.02 {
+			t.Errorf("slowdown %s: async %.3f slower than sync %.3f", row[0], asyncT, syncT)
+		}
+		if switchT > asyncT*1.02 {
+			t.Errorf("slowdown %s: switching %.3f worse than async %.3f", row[0], switchT, asyncT)
+		}
+	}
+	// At the heaviest contention, async must clearly beat sync.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if cellFloat(t, last[2]) >= cellFloat(t, last[1])*0.9 {
+		t.Errorf("8x straggler: async %.3f not clearly beating sync %.3f",
+			cellFloat(t, last[2]), cellFloat(t, last[1]))
+	}
+}
+
+func TestAblationCouplingShape(t *testing.T) {
+	tbl := runExp(t, "ablation-coupling")
+	// Degree hit rate must fall as coupling noise grows; PreSC must stay
+	// within a narrow band.
+	first := cellFloat(t, tbl.Rows[0][1])
+	last := cellFloat(t, tbl.Rows[len(tbl.Rows)-1][1])
+	if first <= last {
+		t.Errorf("Degree hit rate did not fall with coupling noise: %.0f -> %.0f", first, last)
+	}
+	var lo, hi float64 = 101, -1
+	for _, row := range tbl.Rows {
+		p := cellFloat(t, row[2])
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	if hi-lo > 10 {
+		t.Errorf("PreSC hit rate varied %.0f-%.0f%% across couplings; should be stable", lo, hi)
+	}
+}
+
+func TestAblationHostBandwidthShape(t *testing.T) {
+	tbl := runExp(t, "ablation-hostbw")
+	// DGL epoch time must fall substantially with more host bandwidth;
+	// GNNLab's far less.
+	dglFirst := cellFloat(t, tbl.Rows[0][1])
+	dglLast := cellFloat(t, tbl.Rows[len(tbl.Rows)-1][1])
+	glFirst := cellFloat(t, tbl.Rows[0][2])
+	glLast := cellFloat(t, tbl.Rows[len(tbl.Rows)-1][2])
+	if dglLast >= dglFirst*0.6 {
+		t.Errorf("DGL insensitive to host BW: %.3f -> %.3f", dglFirst, dglLast)
+	}
+	dglGain := dglFirst / dglLast
+	glGain := glFirst / glLast
+	if glGain >= dglGain {
+		t.Errorf("GNNLab gained %.2fx from host BW vs DGL %.2fx; cache should insulate it", glGain, dglGain)
+	}
+}
+
+func TestAblationBatchSizeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real training skipped in -short")
+	}
+	tbl := runExp(t, "ablation-batchsize")
+	// Epoch time must fall (or at least not grow) as batches get larger.
+	first := cellFloat(t, tbl.Rows[0][2])
+	last := cellFloat(t, tbl.Rows[len(tbl.Rows)-1][2])
+	if last > first*1.05 {
+		t.Errorf("larger batches slowed the epoch: %.3f -> %.3f", first, last)
+	}
+}
+
+func TestAblationTrainSetShape(t *testing.T) {
+	tbl := runExp(t, "ablation-trainset")
+	// Epoch time must grow with the training set for both systems.
+	glFirst := cellFloat(t, tbl.Rows[0][1])
+	glLast := cellFloat(t, tbl.Rows[len(tbl.Rows)-1][1])
+	if glLast <= glFirst {
+		t.Errorf("GNNLab epoch did not grow with the training set: %.3f -> %.3f", glFirst, glLast)
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gnnlab/internal/core"
+	"gnnlab/internal/gen"
+	"gnnlab/internal/workload"
+)
+
+// AblationContention exercises the §5.3 multi-tenant motivation: other
+// workloads temporarily slow some Trainer GPUs. Synchronous updates couple
+// every Trainer to the straggler; asynchronous (bounded-staleness) updates
+// let fast Trainers run ahead; dynamic switching additionally recruits the
+// Sampler GPU once its epoch's mini-batches are sampled.
+func AblationContention(o Options) (*Table, error) {
+	o = o.withDefaults()
+	d, err := o.load(gen.PresetPA)
+	if err != nil {
+		return nil, err
+	}
+	w := o.spec(workload.GCN)
+	// A 4-GPU machine (1S3T) keeps the Trainers the bottleneck; on the
+	// full 8-GPU testbed the single Sampler bounds the epoch and a slow
+	// Trainer costs nothing — itself a finding worth noting.
+	gpus := o.NumGPUs
+	if gpus > 4 {
+		gpus = 4
+	}
+	t := &Table{
+		ID:     "ablation-contention",
+		Title:  fmt.Sprintf("GCN on PA (%d GPUs, 1 Sampler): one Trainer slowed by a co-tenant", gpus),
+		Header: []string{"Slowdown", "Sync", "Async", "Async + switching"},
+		Notes:  []string{"slowdown applies to Trainer GPU 0's compute"},
+	}
+	for _, factor := range []float64{1, 2, 4, 8} {
+		row := []string{fmt.Sprintf("%.0fx", factor)}
+		for _, mode := range []struct {
+			sync, switching bool
+		}{{true, false}, {false, false}, {false, true}} {
+			cfg := o.apply(core.GNNLab(w, gpus))
+			cfg.ForceSamplers = 1
+			cfg.Sync = mode.sync
+			cfg.DynamicSwitching = mode.switching
+			if factor > 1 {
+				cfg.TrainerSlowdown = []float64{factor}
+			}
+			rep, err := core.Run(d, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, cellOrOOM(rep, func(r *core.Report) string { return secs(r.EpochTime) }))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

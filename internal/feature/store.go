@@ -1,0 +1,113 @@
+// Package feature implements the feature store the Extract stage reads:
+// the full per-vertex feature table in host memory plus an optional
+// GPU-resident cached tier holding the rows the caching policy selected
+// (§6.1's load_cache). In the simulated systems only the byte accounting
+// matters; in the live runtime (internal/train) the store performs the
+// actual split gather — cache hits from the cached tier, misses from
+// host — so the §6 machinery is exercised end to end.
+package feature
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"gnnlab/internal/cache"
+	"gnnlab/internal/sampling"
+	"gnnlab/internal/tensor"
+)
+
+// Store is a two-tier feature store. It is safe for concurrent Gather
+// calls once built.
+type Store struct {
+	dim  int
+	host []float32
+	// table maps vertices to cached slots; nil when no cache is enabled.
+	table *cache.Table
+	// cached holds the selected rows in slot order.
+	cached []float32
+
+	hits, misses atomic.Int64
+}
+
+// NewStore wraps the host feature table (row-major, n×dim).
+func NewStore(host []float32, dim int) (*Store, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("feature: non-positive dim %d", dim)
+	}
+	if len(host)%dim != 0 {
+		return nil, fmt.Errorf("feature: host length %d not a multiple of dim %d", len(host), dim)
+	}
+	return &Store{dim: dim, host: host}, nil
+}
+
+// NumVertices returns the number of feature rows.
+func (s *Store) NumVertices() int { return len(s.host) / s.dim }
+
+// Dim returns the feature width.
+func (s *Store) Dim() int { return s.dim }
+
+// EnableCache materializes the cached tier for the vertices the table
+// selected — the live analogue of loading the feature cache into GPU
+// memory (Table 6, P2). The table must match this store's vertex count.
+func (s *Store) EnableCache(table *cache.Table) error {
+	if table.VertexFeatureBytes() != int64(s.dim)*4 {
+		return fmt.Errorf("feature: table row size %d B != store row size %d B",
+			table.VertexFeatureBytes(), s.dim*4)
+	}
+	cached := make([]float32, table.NumSlots()*s.dim)
+	for v := 0; v < s.NumVertices(); v++ {
+		slot, ok := table.Slot(int32(v))
+		if !ok {
+			continue
+		}
+		copy(cached[int(slot)*s.dim:(int(slot)+1)*s.dim], s.hostRow(int32(v)))
+	}
+	s.table = table
+	s.cached = cached
+	return nil
+}
+
+// CacheEnabled reports whether a cached tier is active.
+func (s *Store) CacheEnabled() bool { return s.table != nil }
+
+func (s *Store) hostRow(v int32) []float32 {
+	return s.host[int(v)*s.dim : (int(v)+1)*s.dim]
+}
+
+// Gather performs the Extract stage for one sample: it fills a dense
+// matrix with the features of the sample's unique input vertices, serving
+// each row from the cached tier on a hit and from host memory on a miss,
+// and returns the hit/miss counts.
+func (s *Store) Gather(smp *sampling.Sample) (*tensor.Matrix, int, int) {
+	out := tensor.New(len(smp.Input), s.dim)
+	hits, misses := 0, 0
+	for local, v := range smp.Input {
+		dst := out.Row(local)
+		if s.table != nil {
+			if slot, ok := s.table.Slot(v); ok {
+				copy(dst, s.cached[int(slot)*s.dim:(int(slot)+1)*s.dim])
+				hits++
+				continue
+			}
+		}
+		copy(dst, s.hostRow(v))
+		misses++
+	}
+	s.hits.Add(int64(hits))
+	s.misses.Add(int64(misses))
+	return out, hits, misses
+}
+
+// Stats returns the accumulated gather counters.
+func (s *Store) Stats() (hits, misses int64) {
+	return s.hits.Load(), s.misses.Load()
+}
+
+// HitRate returns the accumulated cache hit rate.
+func (s *Store) HitRate() float64 {
+	h, m := s.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}

@@ -1,0 +1,154 @@
+package feature
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gnnlab/internal/cache"
+	"gnnlab/internal/sampling"
+)
+
+func makeHost(n, dim int) []float32 {
+	host := make([]float32, n*dim)
+	for v := 0; v < n; v++ {
+		for j := 0; j < dim; j++ {
+			host[v*dim+j] = float32(v*1000 + j)
+		}
+	}
+	return host
+}
+
+func sampleOf(inputs ...int32) *sampling.Sample {
+	return &sampling.Sample{Seeds: inputs[:1], Input: inputs}
+}
+
+func TestStoreValidation(t *testing.T) {
+	if _, err := NewStore(make([]float32, 10), 0); err == nil {
+		t.Error("zero dim accepted")
+	}
+	if _, err := NewStore(make([]float32, 10), 3); err == nil {
+		t.Error("non-multiple length accepted")
+	}
+	s, err := NewStore(makeHost(5, 4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVertices() != 5 || s.Dim() != 4 {
+		t.Errorf("store shape %d×%d", s.NumVertices(), s.Dim())
+	}
+}
+
+func TestGatherWithoutCache(t *testing.T) {
+	s, _ := NewStore(makeHost(10, 3), 3)
+	m, hits, misses := s.Gather(sampleOf(7, 2, 9))
+	if hits != 0 || misses != 3 {
+		t.Errorf("uncached gather: %d/%d", hits, misses)
+	}
+	if m.At(0, 0) != 7000 || m.At(1, 2) != 2002 || m.At(2, 1) != 9001 {
+		t.Errorf("gathered values wrong: %v", m.Data)
+	}
+}
+
+func TestGatherSplitTiers(t *testing.T) {
+	const n, dim = 20, 4
+	s, _ := NewStore(makeHost(n, dim), dim)
+	// Cache vertices 3 and 7.
+	table, err := cache.Load([]int32{3, 7}, 2, n, dim*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableCache(table); err != nil {
+		t.Fatal(err)
+	}
+	if !s.CacheEnabled() {
+		t.Fatal("cache not enabled")
+	}
+	m, hits, misses := s.Gather(sampleOf(3, 5, 7, 1))
+	if hits != 2 || misses != 2 {
+		t.Fatalf("split gather: %d/%d, want 2/2", hits, misses)
+	}
+	// Values must be identical regardless of which tier served them.
+	for local, v := range []int32{3, 5, 7, 1} {
+		for j := 0; j < dim; j++ {
+			if m.At(local, j) != float32(int(v)*1000+j) {
+				t.Fatalf("row %d (vertex %d) corrupted", local, v)
+			}
+		}
+	}
+	if s.HitRate() != 0.5 {
+		t.Errorf("hit rate %v", s.HitRate())
+	}
+}
+
+func TestEnableCacheRejectsMismatchedRowSize(t *testing.T) {
+	s, _ := NewStore(makeHost(5, 4), 4)
+	table, _ := cache.Load([]int32{0}, 1, 5, 8) // 2-lane rows, store has 4
+	if err := s.EnableCache(table); err == nil {
+		t.Error("mismatched row size accepted")
+	}
+}
+
+// TestGatherEquivalenceProperty: for any cached subset, the gathered
+// matrix equals the uncached gather bit for bit.
+func TestGatherEquivalenceProperty(t *testing.T) {
+	const n, dim = 50, 3
+	host := makeHost(n, dim)
+	if err := quick.Check(func(slotsRaw uint8, picks [6]uint8) bool {
+		plain, _ := NewStore(host, dim)
+		cached, _ := NewStore(host, dim)
+		slots := int(slotsRaw % n)
+		ranking := make([]int32, n)
+		for i := range ranking {
+			ranking[i] = int32((i*7 + 3) % n) // fixed permutation
+		}
+		table, err := cache.Load(ranking, slots, n, dim*4)
+		if err != nil {
+			return false
+		}
+		if err := cached.EnableCache(table); err != nil {
+			return false
+		}
+		inputs := make([]int32, len(picks))
+		seen := map[int32]bool{}
+		k := 0
+		for _, p := range picks {
+			v := int32(p) % n
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			inputs[k] = v
+			k++
+		}
+		if k == 0 {
+			return true
+		}
+		smp := sampleOf(inputs[:k]...)
+		a, _, _ := plain.Gather(smp)
+		b, hits, misses := cached.Gather(smp)
+		if hits+misses != k {
+			return false
+		}
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	s, _ := NewStore(makeHost(10, 2), 2)
+	s.Gather(sampleOf(1, 2))
+	s.Gather(sampleOf(3))
+	h, m := s.Stats()
+	if h != 0 || m != 3 {
+		t.Errorf("stats %d/%d", h, m)
+	}
+	if (&Store{}).HitRate() != 0 {
+		t.Error("empty hit rate not 0")
+	}
+}

@@ -1,0 +1,115 @@
+package gen
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"gnnlab/internal/graph"
+)
+
+// Dataset disk format, little endian:
+//
+//	magic     uint32 = 0x474E4C44 ("GNLD")
+//	flags     uint32 (bit 0: labels, bit 1: features)
+//	dim       uint32
+//	classes   uint32
+//	tsLen     uint64
+//	trainSet  tsLen × int32
+//	graph     (binary CSR, see internal/graph)
+//	labels    |V| × int32            (when flagged)
+//	features  |V|·dim × float32      (when flagged)
+//
+// It lets gnnlab-gen persist complete datasets and makes the Table 6
+// disk→DRAM step reproducible against a real file.
+
+const datasetMagic uint32 = 0x474E4C44
+
+// WriteDataset serializes d.
+func WriteDataset(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var flags uint32
+	if d.Labels != nil {
+		flags |= 1
+	}
+	if d.Features != nil {
+		flags |= 2
+	}
+	hdr := []any{datasetMagic, flags, uint32(d.FeatureDim), uint32(d.NumClasses), uint64(len(d.TrainSet))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("gen: write dataset header: %w", err)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, d.TrainSet); err != nil {
+		return fmt.Errorf("gen: write train set: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := graph.WriteBinary(w, d.Graph); err != nil {
+		return err
+	}
+	bw.Reset(w)
+	if d.Labels != nil {
+		if err := binary.Write(bw, binary.LittleEndian, d.Labels); err != nil {
+			return fmt.Errorf("gen: write labels: %w", err)
+		}
+	}
+	if d.Features != nil {
+		if err := binary.Write(bw, binary.LittleEndian, d.Features); err != nil {
+			return fmt.Errorf("gen: write features: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDataset deserializes a dataset written by WriteDataset. The caller
+// provides the Name.
+func ReadDataset(rd io.Reader, name string) (*Dataset, error) {
+	r := bufio.NewReaderSize(rd, 1<<20)
+	var magic, flags, dim, classes uint32
+	var tsLen uint64
+	for _, v := range []any{&magic, &flags, &dim, &classes, &tsLen} {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("gen: read dataset header: %w", err)
+		}
+	}
+	if magic != datasetMagic {
+		return nil, fmt.Errorf("gen: bad dataset magic %#x", magic)
+	}
+	const maxReasonable = 1 << 33
+	if tsLen > maxReasonable || dim == 0 || dim > 1<<20 {
+		return nil, fmt.Errorf("gen: implausible dataset header (dim=%d ts=%d)", dim, tsLen)
+	}
+	d := &Dataset{Name: name, FeatureDim: int(dim), NumClasses: int(classes)}
+	d.TrainSet = make([]int32, tsLen)
+	if err := binary.Read(r, binary.LittleEndian, d.TrainSet); err != nil {
+		return nil, fmt.Errorf("gen: read train set: %w", err)
+	}
+	g, err := graph.ReadBinaryFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	d.Graph = g
+	n := g.NumVertices()
+	for _, v := range d.TrainSet {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("gen: train vertex %d out of range (n=%d)", v, n)
+		}
+	}
+	if flags&1 != 0 {
+		d.Labels = make([]int32, n)
+		if err := binary.Read(r, binary.LittleEndian, d.Labels); err != nil {
+			return nil, fmt.Errorf("gen: read labels: %w", err)
+		}
+	}
+	if flags&2 != 0 {
+		d.Features = make([]float32, n*int(dim))
+		if err := binary.Read(r, binary.LittleEndian, d.Features); err != nil {
+			return nil, fmt.Errorf("gen: read features: %w", err)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary graph format, little endian:
+//
+//	magic   uint32 = 0x474E4C01 ("GNL" + version 1)
+//	flags   uint32 (bit 0: weighted)
+//	nVerts  uint64
+//	nEdges  uint64
+//	rowPtr  (nVerts+1) × int64
+//	colIdx  nEdges × int32
+//	weights nEdges × float32 (only when weighted)
+//
+// The format exists so the preprocessing-cost experiment (Table 6) can
+// measure a real disk→DRAM load, and so generated datasets can be cached
+// between benchmark runs.
+
+const binaryMagic uint32 = 0x474E4C01
+
+// WriteBinary serializes g to w in the binary graph format.
+func WriteBinary(w io.Writer, g *CSR) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var flags uint32
+	if g.Weights != nil {
+		flags |= 1
+	}
+	hdr := []any{binaryMagic, flags, uint64(g.NumVertices()), uint64(g.NumEdges())}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("graph: write header: %w", err)
+		}
+	}
+	for _, section := range []any{g.RowPtr, g.ColIdx} {
+		if err := binary.Write(bw, binary.LittleEndian, section); err != nil {
+			return fmt.Errorf("graph: write section: %w", err)
+		}
+	}
+	if g.Weights != nil {
+		if err := binary.Write(bw, binary.LittleEndian, g.Weights); err != nil {
+			return fmt.Errorf("graph: write weights: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a CSR previously written by WriteBinary.
+func ReadBinary(r io.Reader) (*CSR, error) {
+	return ReadBinaryFrom(bufio.NewReaderSize(r, 1<<20))
+}
+
+// ReadBinaryFrom deserializes a CSR reading exactly the graph's bytes from
+// r (no internal buffering or read-ahead), so it composes inside larger
+// container formats. Wrap r in a bufio.Reader for performance.
+func ReadBinaryFrom(br io.Reader) (*CSR, error) {
+	var magic, flags uint32
+	var nVerts, nEdges uint64
+	for _, v := range []any{&magic, &flags, &nVerts, &nEdges} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("graph: read header: %w", err)
+		}
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", magic)
+	}
+	const maxReasonable = 1 << 33
+	if nVerts > maxReasonable || nEdges > maxReasonable {
+		return nil, fmt.Errorf("graph: implausible sizes nVerts=%d nEdges=%d", nVerts, nEdges)
+	}
+	g := &CSR{
+		RowPtr: make([]int64, nVerts+1),
+		ColIdx: make([]int32, nEdges),
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.RowPtr); err != nil {
+		return nil, fmt.Errorf("graph: read row pointers: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.ColIdx); err != nil {
+		return nil, fmt.Errorf("graph: read column indices: %w", err)
+	}
+	if flags&1 != 0 {
+		g.Weights = make([]float32, nEdges)
+		if err := binary.Read(br, binary.LittleEndian, g.Weights); err != nil {
+			return nil, fmt.Errorf("graph: read weights: %w", err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"gnnlab/internal/rng"
+)
+
+// Partition divides the vertices into k clusters of roughly equal size
+// using multi-source BFS region growing over the undirected structure:
+// k random seeds expand breadth-first, claiming unvisited vertices, and
+// leftovers (unreachable vertices) are dealt round-robin. This is the
+// lightweight stand-in for the METIS-style clustering subgraph samplers
+// (ClusterGCN [15]) rely on, and for the self-reliant partitions the
+// partitioning discussion in §8 analyses.
+func Partition(g *CSR, k int, seed uint64) [][]int32 {
+	n := g.NumVertices()
+	if k <= 0 {
+		panic("graph: Partition with non-positive k")
+	}
+	if k > n {
+		k = n
+	}
+	r := rng.New(seed ^ 0x9A27)
+	assign := make([]int32, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	// Per-cluster BFS frontiers, advanced round-robin so clusters grow at
+	// matching rates.
+	frontiers := make([][]int32, k)
+	order := r.Perm(n)
+	next := 0
+	for c := 0; c < k; c++ {
+		for next < n && assign[order[next]] != -1 {
+			next++
+		}
+		if next == n {
+			break
+		}
+		v := order[next]
+		assign[v] = int32(c)
+		frontiers[c] = append(frontiers[c], v)
+	}
+	target := (n + k - 1) / k
+	sizes := make([]int, k)
+	for c := range frontiers {
+		sizes[c] = len(frontiers[c])
+	}
+	active := true
+	for active {
+		active = false
+		for c := 0; c < k; c++ {
+			if len(frontiers[c]) == 0 || sizes[c] >= target {
+				continue
+			}
+			var newFrontier []int32
+			for _, v := range frontiers[c] {
+				for _, nbr := range g.Adj(v) {
+					if assign[nbr] != -1 || sizes[c] >= target {
+						continue
+					}
+					assign[nbr] = int32(c)
+					sizes[c]++
+					newFrontier = append(newFrontier, nbr)
+				}
+			}
+			frontiers[c] = newFrontier
+			if len(newFrontier) > 0 {
+				active = true
+			}
+		}
+	}
+	// Unclaimed vertices (isolated or fenced off) go round-robin to the
+	// smallest clusters.
+	for _, v := range order {
+		if assign[v] != -1 {
+			continue
+		}
+		smallest := 0
+		for c := 1; c < k; c++ {
+			if sizes[c] < sizes[smallest] {
+				smallest = c
+			}
+		}
+		assign[v] = int32(smallest)
+		sizes[smallest]++
+	}
+	clusters := make([][]int32, k)
+	for c := range clusters {
+		clusters[c] = make([]int32, 0, sizes[c])
+	}
+	for v := 0; v < n; v++ {
+		c := assign[v]
+		clusters[c] = append(clusters[c], int32(v))
+	}
+	return clusters
+}
+
+// PartitionAssignment inverts Partition's output into a per-vertex cluster
+// index.
+func PartitionAssignment(clusters [][]int32, n int) []int32 {
+	assign := make([]int32, n)
+	for c, members := range clusters {
+		for _, v := range members {
+			assign[v] = int32(c)
+		}
+	}
+	return assign
+}

@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestPartitionCoversAllVertices(t *testing.T) {
+	g := randomGraph(1, 500, 4000, false)
+	clusters := Partition(g, 8, 7)
+	if len(clusters) != 8 {
+		t.Fatalf("got %d clusters, want 8", len(clusters))
+	}
+	seen := make([]bool, 500)
+	total := 0
+	for _, members := range clusters {
+		for _, v := range members {
+			if seen[v] {
+				t.Fatalf("vertex %d in two clusters", v)
+			}
+			seen[v] = true
+			total++
+		}
+	}
+	if total != 500 {
+		t.Errorf("clusters cover %d vertices, want 500", total)
+	}
+}
+
+func TestPartitionRoughlyBalanced(t *testing.T) {
+	g := randomGraph(2, 1000, 10000, false)
+	clusters := Partition(g, 10, 3)
+	for c, members := range clusters {
+		if len(members) < 50 || len(members) > 200 {
+			t.Errorf("cluster %d has %d members (target ~100)", c, len(members))
+		}
+	}
+}
+
+func TestPartitionLocality(t *testing.T) {
+	// On a connected-ish graph, BFS growing should keep many edges
+	// inside clusters — far more than a random assignment would.
+	g := randomGraph(3, 400, 2000, false)
+	clusters := Partition(g, 4, 5)
+	assign := PartitionAssignment(clusters, 400)
+	intra := 0
+	for v := 0; v < 400; v++ {
+		for _, dst := range g.Adj(int32(v)) {
+			if assign[v] == assign[dst] {
+				intra++
+			}
+		}
+	}
+	frac := float64(intra) / float64(g.NumEdges())
+	// Random assignment over 4 clusters would give ~0.25.
+	if frac < 0.3 {
+		t.Errorf("intra-cluster edge fraction %.2f; partitioner no better than random", frac)
+	}
+}
+
+func TestPartitionDegenerateCases(t *testing.T) {
+	g := randomGraph(4, 10, 30, false)
+	// More clusters than vertices: clamps.
+	clusters := Partition(g, 50, 1)
+	total := 0
+	for _, members := range clusters {
+		total += len(members)
+	}
+	if total != 10 {
+		t.Errorf("clamped partition covers %d, want 10", total)
+	}
+	// Single cluster gets everything.
+	one := Partition(g, 1, 1)
+	if len(one) != 1 || len(one[0]) != 10 {
+		t.Errorf("single-cluster partition wrong: %d clusters, %d members", len(one), len(one[0]))
+	}
+}
+
+func TestPartitionAssignmentInverse(t *testing.T) {
+	g := randomGraph(5, 100, 600, false)
+	clusters := Partition(g, 5, 9)
+	assign := PartitionAssignment(clusters, 100)
+	for c, members := range clusters {
+		for _, v := range members {
+			if assign[v] != int32(c) {
+				t.Fatalf("assignment[%d] = %d, want %d", v, assign[v], c)
+			}
+		}
+	}
+}
+
+func TestPartitionPanicsOnBadK(t *testing.T) {
+	g := randomGraph(6, 10, 20, false)
+	defer func() {
+		if recover() == nil {
+			t.Error("Partition(0) did not panic")
+		}
+	}()
+	Partition(g, 0, 1)
+}

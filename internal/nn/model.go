@@ -1,0 +1,157 @@
+package nn
+
+import (
+	"fmt"
+
+	"gnnlab/internal/rng"
+	"gnnlab/internal/sampling"
+	"gnnlab/internal/tensor"
+	"gnnlab/internal/workload"
+)
+
+// Layer is one GNN layer with a hand-written backward pass. Forward
+// returns an opaque context that Backward consumes.
+type Layer interface {
+	Params() []*tensor.Param
+	ForwardLayer(c *Compact, hIn *tensor.Matrix, numOut int) (*tensor.Matrix, any)
+	BackwardLayer(c *Compact, ctx any, gradOut *tensor.Matrix) *tensor.Matrix
+}
+
+// Model is a stack of GNN layers ending in a classifier head (the last
+// layer outputs logits over classes, no activation).
+type Model struct {
+	Kind   workload.ModelKind
+	Layers []Layer
+}
+
+// NewModel builds the paper's model for kind: L layers (L = sampling hops),
+// hidden width hiddenDim, classifying into numClasses.
+func NewModel(kind workload.ModelKind, numLayers, inputDim, hiddenDim, numClasses int, seed uint64) *Model {
+	if numLayers <= 0 {
+		panic("nn: NewModel with no layers")
+	}
+	agg := AggGCN
+	switch kind {
+	case workload.GraphSAGE:
+		agg = AggSAGE
+	case workload.PinSAGE:
+		agg = AggPinSAGE
+	}
+	r := rng.New(seed ^ 0x6D6F64656C)
+	m := &Model{Kind: kind}
+	dims := make([]int, numLayers+1)
+	dims[0] = inputDim
+	for i := 1; i < numLayers; i++ {
+		dims[i] = hiddenDim
+	}
+	dims[numLayers] = numClasses
+	for l := 0; l < numLayers; l++ {
+		relu := l < numLayers-1
+		if kind == workload.GAT {
+			// Hidden layers use 4 concatenated attention heads (when the
+			// width divides); the classifier head is single-head.
+			heads := 1
+			if relu && dims[l+1]%4 == 0 {
+				heads = 4
+			}
+			m.Layers = append(m.Layers, NewGATMultiHead(dims[l], dims[l+1], heads, relu, r.Split(uint64(l))))
+		} else {
+			m.Layers = append(m.Layers, NewConv(agg, dims[l], dims[l+1], relu, r.Split(uint64(l))))
+		}
+	}
+	return m
+}
+
+// Params returns every trainable parameter.
+func (m *Model) Params() []*tensor.Param {
+	var ps []*tensor.Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Forward runs the model on a compact sample whose features are rows of
+// feats (NumVertices × inputDim) and returns the seed logits plus the
+// layer contexts for Backward.
+func (m *Model) Forward(g *Compact, feats *tensor.Matrix) (*tensor.Matrix, []any, error) {
+	if g.NumLevels != len(m.Layers) {
+		return nil, nil, fmt.Errorf("nn: sample has %d hops, model has %d layers", g.NumLevels, len(m.Layers))
+	}
+	if feats.Rows != g.NumVertices {
+		return nil, nil, fmt.Errorf("nn: %d feature rows for %d vertices", feats.Rows, g.NumVertices)
+	}
+	h := feats
+	ctxs := make([]any, len(m.Layers))
+	for l, layer := range m.Layers {
+		var ctx any
+		h, ctx = layer.ForwardLayer(g, h, g.Needed[l+1])
+		ctxs[l] = ctx
+	}
+	return h, ctxs, nil
+}
+
+// Backward propagates the loss gradient (w.r.t. seed logits) through the
+// stack, accumulating parameter gradients.
+func (m *Model) Backward(g *Compact, ctxs []any, gradLogits *tensor.Matrix) {
+	grad := gradLogits
+	for l := len(m.Layers) - 1; l >= 0; l-- {
+		grad = m.Layers[l].BackwardLayer(g, ctxs[l], grad)
+	}
+}
+
+// LossAndGrad runs forward+loss+backward for one mini-batch and returns
+// (mean loss, correct predictions). Parameter gradients accumulate; the
+// caller decides when to step the optimizer (accumulating across k batches
+// then stepping models k synchronous data-parallel trainers exactly).
+func (m *Model) LossAndGrad(g *Compact, feats *tensor.Matrix, labels []int32) (float64, int, error) {
+	logits, ctxs, err := m.Forward(g, feats)
+	if err != nil {
+		return 0, 0, err
+	}
+	gradLogits := tensor.New(logits.Rows, logits.Cols)
+	loss, correct := tensor.SoftmaxCrossEntropy(logits, labels, gradLogits)
+	m.Backward(g, ctxs, gradLogits)
+	return loss, correct, nil
+}
+
+// Predict runs forward and returns the number of correct seed predictions.
+func (m *Model) Predict(g *Compact, feats *tensor.Matrix, labels []int32) (int, error) {
+	logits, _, err := m.Forward(g, feats)
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Row(i)
+		argmax := 0
+		for j, v := range row {
+			if v > row[argmax] {
+				argmax = j
+			}
+		}
+		if int32(argmax) == labels[i] {
+			correct++
+		}
+	}
+	return correct, nil
+}
+
+// GatherFeatures extracts the feature rows of a sample's input vertices
+// into a dense matrix — the real Extract stage of the live runtime.
+func GatherFeatures(s *sampling.Sample, features []float32, dim int) *tensor.Matrix {
+	out := tensor.New(len(s.Input), dim)
+	for local, global := range s.Input {
+		copy(out.Row(local), features[int(global)*dim:(int(global)+1)*dim])
+	}
+	return out
+}
+
+// SeedLabels gathers the labels of a sample's seeds.
+func SeedLabels(s *sampling.Sample, labels []int32) []int32 {
+	out := make([]int32, len(s.Seeds))
+	for i, v := range s.Seeds {
+		out[i] = labels[v]
+	}
+	return out
+}

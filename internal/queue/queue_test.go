@@ -1,0 +1,223 @@
+package queue
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFIFOSingleThreaded(t *testing.T) {
+	q := New[int](8)
+	for i := 0; i < 5; i++ {
+		if !q.Enqueue(i) {
+			t.Fatal("enqueue refused")
+		}
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue %d = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	q := New[int](3)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			q.Enqueue(round*3 + i)
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := q.Dequeue()
+			if !ok || v != round*3+i {
+				t.Fatalf("round %d: got %d,%v", round, v, ok)
+			}
+		}
+	}
+}
+
+func TestCloseDrainsThenStops(t *testing.T) {
+	q := New[string](4)
+	q.Enqueue("a")
+	q.Enqueue("b")
+	q.Close()
+	if q.Enqueue("c") {
+		t.Error("enqueue after close accepted")
+	}
+	if v, ok := q.Dequeue(); !ok || v != "a" {
+		t.Errorf("first drain = %q,%v", v, ok)
+	}
+	if v, ok := q.Dequeue(); !ok || v != "b" {
+		t.Errorf("second drain = %q,%v", v, ok)
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Error("dequeue succeeded on closed empty queue")
+	}
+}
+
+func TestReopen(t *testing.T) {
+	q := New[int](2)
+	q.Close()
+	q.Reopen()
+	if !q.Enqueue(1) {
+		t.Error("enqueue after reopen refused")
+	}
+}
+
+func TestTryDequeue(t *testing.T) {
+	q := New[int](2)
+	if _, ok, done := q.TryDequeue(); ok || done {
+		t.Errorf("empty open queue: ok=%v done=%v", ok, done)
+	}
+	q.Enqueue(7)
+	if v, ok, _ := q.TryDequeue(); !ok || v != 7 {
+		t.Errorf("TryDequeue = %d,%v", v, ok)
+	}
+	q.Close()
+	if _, ok, done := q.TryDequeue(); ok || !done {
+		t.Errorf("closed empty queue: ok=%v done=%v", ok, done)
+	}
+}
+
+func TestBlockingHandoff(t *testing.T) {
+	q := New[int](1)
+	done := make(chan int, 1)
+	go func() {
+		v, _ := q.Dequeue() // blocks until producer arrives
+		done <- v
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Enqueue(42)
+	select {
+	case v := <-done:
+		if v != 42 {
+			t.Errorf("handoff delivered %d", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("consumer never woke")
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	q := New[int](1)
+	q.Enqueue(1)
+	enqueued := make(chan struct{})
+	go func() {
+		q.Enqueue(2) // must block until a slot frees
+		close(enqueued)
+	}()
+	select {
+	case <-enqueued:
+		t.Fatal("enqueue did not block on a full queue")
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.Dequeue()
+	select {
+	case <-enqueued:
+	case <-time.After(time.Second):
+		t.Fatal("blocked producer never woke")
+	}
+}
+
+func TestCloseWakesBlockedProducer(t *testing.T) {
+	q := New[int](1)
+	q.Enqueue(1)
+	refused := make(chan bool, 1)
+	go func() {
+		refused <- !q.Enqueue(2)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case r := <-refused:
+		if !r {
+			t.Error("enqueue during close succeeded")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked producer not woken by Close")
+	}
+}
+
+// TestMPMCExactlyOnce hammers the queue with concurrent producers and
+// consumers and verifies every item is delivered exactly once.
+func TestMPMCExactlyOnce(t *testing.T) {
+	const producers, consumers, perProducer = 4, 4, 2000
+	q := New[int](16)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue(p*perProducer + i)
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		q.Close()
+	}()
+
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	var consumed atomic.Int64
+	var cg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				v, ok := q.Dequeue()
+				if !ok {
+					return
+				}
+				consumed.Add(1)
+				mu.Lock()
+				seen[v]++
+				mu.Unlock()
+			}
+		}()
+	}
+	cg.Wait()
+	if got := consumed.Load(); got != producers*perProducer {
+		t.Fatalf("consumed %d items, want %d", got, producers*perProducer)
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("item %d delivered %d times", v, c)
+		}
+	}
+	st := q.Stats()
+	if st.Enqueued != producers*perProducer || st.Dequeued != producers*perProducer {
+		t.Errorf("stats %+v", st)
+	}
+	if st.MaxDepth > 16 {
+		t.Errorf("max depth %d exceeded capacity", st.MaxDepth)
+	}
+}
+
+func TestLenTracksDepth(t *testing.T) {
+	q := New[int](4)
+	if q.Len() != 0 {
+		t.Error("fresh queue not empty")
+	}
+	q.Enqueue(1)
+	q.Enqueue(2)
+	if q.Len() != 2 {
+		t.Errorf("Len = %d, want 2", q.Len())
+	}
+	q.Dequeue()
+	if q.Len() != 1 {
+		t.Errorf("Len = %d, want 1", q.Len())
+	}
+}
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New[int](0)
+}

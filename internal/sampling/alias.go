@@ -1,0 +1,96 @@
+package sampling
+
+import (
+	"gnnlab/internal/rng"
+)
+
+// AliasTable supports O(1) draws from an arbitrary discrete distribution
+// (Walker's alias method, the standard way GPU samplers implement weighted
+// neighbor selection). Building is O(n).
+type AliasTable struct {
+	prob  []float32 // acceptance probability per slot
+	alias []int32   // fallback outcome per slot
+}
+
+// NewAliasTable builds a table over the given non-negative weights. At
+// least one weight must be positive.
+func NewAliasTable(weights []float32) *AliasTable {
+	n := len(weights)
+	if n == 0 {
+		panic("sampling: NewAliasTable with no weights")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("sampling: NewAliasTable with negative weight")
+		}
+		total += float64(w)
+	}
+	if total == 0 {
+		panic("sampling: NewAliasTable with all-zero weights")
+	}
+	t := &AliasTable{prob: make([]float32, n), alias: make([]int32, n)}
+	// Scaled probabilities: mean 1.
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		scaled[i] = float64(w) * float64(n) / total
+	}
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, p := range scaled {
+		if p < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = float32(scaled[s])
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		t.prob[i] = 1
+	}
+	for _, i := range small {
+		t.prob[i] = 1 // numerical leftovers
+	}
+	return t
+}
+
+// Len returns the number of outcomes.
+func (t *AliasTable) Len() int { return len(t.prob) }
+
+// Draw returns an outcome index distributed proportionally to the build
+// weights. One 64-bit draw supplies both the slot (high 32 bits via a
+// multiply-shift) and the acceptance fraction (low 32 bits).
+func (t *AliasTable) Draw(r *rng.Rand) int32 {
+	x := r.Uint64()
+	i := int32(((x >> 32) * uint64(len(t.prob))) >> 32)
+	frac := float32(x&0xFFFFFFFF) / (1 << 32)
+	if frac < t.prob[i] {
+		return i
+	}
+	return t.alias[i]
+}
+
+// drawFlat draws a row-local index from the flat alias slices of one
+// adjacency row, with the same single-draw trick.
+func drawFlat(prob []float32, alias []int32, r *rng.Rand) int {
+	x := r.Uint64()
+	i := int(((x >> 32) * uint64(len(prob))) >> 32)
+	frac := float32(x&0xFFFFFFFF) / (1 << 32)
+	if frac < prob[i] {
+		return i
+	}
+	return int(alias[i])
+}

@@ -1,0 +1,160 @@
+package sampling
+
+import (
+	"fmt"
+
+	"gnnlab/internal/graph"
+	"gnnlab/internal/rng"
+)
+
+// NeighborMethod selects how k uniform neighbors are drawn from an
+// adjacency list. The methods are distribution-equivalent but have very
+// different cost profiles, which §7.3 exploits to explain DGL's slower
+// GPU sampler.
+type NeighborMethod int
+
+const (
+	// FisherYates draws k without replacement via a partial Fisher–Yates
+	// shuffle: O(k) work per vertex regardless of degree. This is the
+	// GPU-friendly variant GNNLab and T_SOTA implement.
+	FisherYates NeighborMethod = iota
+	// Reservoir draws k without replacement via reservoir sampling,
+	// scanning the entire adjacency list: O(degree) work per vertex, so
+	// the cost is skewed by high-degree vertices (the DGL baseline).
+	Reservoir
+)
+
+// String returns the method name.
+func (m NeighborMethod) String() string {
+	switch m {
+	case FisherYates:
+		return "fisher-yates"
+	case Reservoir:
+		return "reservoir"
+	default:
+		return fmt.Sprintf("NeighborMethod(%d)", int(m))
+	}
+}
+
+// KHop is k-hop random neighborhood sampling (GraphSAGE [25], GCN usage):
+// layer i samples Fanouts[i] uniform neighbors of each frontier vertex.
+type KHop struct {
+	Fanouts []int
+	Method  NeighborMethod
+
+	// scratch reused across Sample calls; a KHop value is therefore not
+	// safe for concurrent use — clone per executor with Clone.
+	scratch []int32
+}
+
+// NewKHop returns a k-hop sampler with the given per-layer fanouts.
+func NewKHop(fanouts []int, method NeighborMethod) *KHop {
+	if len(fanouts) == 0 {
+		panic("sampling: NewKHop with no fanouts")
+	}
+	for _, f := range fanouts {
+		if f <= 0 {
+			panic("sampling: NewKHop with non-positive fanout")
+		}
+	}
+	return &KHop{Fanouts: append([]int(nil), fanouts...), Method: method}
+}
+
+// Clone returns an independent sampler sharing configuration but not
+// scratch state.
+func (k *KHop) Clone() Algorithm { return NewKHop(k.Fanouts, k.Method) }
+
+// Name implements Algorithm.
+func (k *KHop) Name() string {
+	return fmt.Sprintf("%d-hop-random(%s)", len(k.Fanouts), k.Method)
+}
+
+// NumHops implements Algorithm.
+func (k *KHop) NumHops() int { return len(k.Fanouts) }
+
+// Sample implements Algorithm.
+func (k *KHop) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
+	expect := expectedVertices(len(seeds), k.Fanouts)
+	loc := newLocalizer(expect)
+	s := &Sample{Seeds: seeds, Layers: make([]Layer, 0, len(k.Fanouts))}
+	for _, seed := range seeds {
+		loc.add(seed)
+	}
+	frontierStart := 0
+	for _, fanout := range k.Fanouts {
+		frontierEnd := loc.numVertices()
+		layer := Layer{NumDst: frontierEnd - frontierStart}
+		capHint := layer.NumDst * fanout
+		layer.Src = make([]int32, 0, capHint)
+		layer.Dst = make([]int32, 0, capHint)
+		for dstLocal := frontierStart; dstLocal < frontierEnd; dstLocal++ {
+			v := loc.input[dstLocal]
+			adj := g.Adj(v)
+			picked, scanned := k.pickUniform(adj, fanout, r)
+			s.SampledEdges += int64(len(picked))
+			s.ScannedEdges += scanned
+			for _, nbr := range picked {
+				layer.Src = append(layer.Src, loc.add(nbr))
+				layer.Dst = append(layer.Dst, int32(dstLocal))
+			}
+		}
+		layer.NumVertices = loc.numVertices()
+		s.Layers = append(s.Layers, layer)
+		frontierStart = frontierEnd
+	}
+	s.Input = loc.input
+	return s
+}
+
+// pickUniform returns up to fanout uniform neighbors without replacement
+// and the number of adjacency entries scanned (the cost basis).
+func (k *KHop) pickUniform(adj []int32, fanout int, r *rng.Rand) ([]int32, int64) {
+	d := len(adj)
+	if d == 0 {
+		return nil, 0
+	}
+	if d <= fanout {
+		return adj, int64(d)
+	}
+	switch k.Method {
+	case Reservoir:
+		if cap(k.scratch) < fanout {
+			k.scratch = make([]int32, fanout)
+		}
+		res := k.scratch[:fanout]
+		copy(res, adj[:fanout])
+		for i := fanout; i < d; i++ {
+			j := r.Intn(i + 1)
+			if j < fanout {
+				res[j] = adj[i]
+			}
+		}
+		return res, int64(d) // reservoir scans the full list
+	default: // FisherYates
+		if cap(k.scratch) < d {
+			k.scratch = make([]int32, d)
+		}
+		buf := k.scratch[:d]
+		copy(buf, adj)
+		for i := 0; i < fanout; i++ {
+			j := i + r.Intn(d-i)
+			buf[i], buf[j] = buf[j], buf[i]
+		}
+		return buf[:fanout], int64(fanout)
+	}
+}
+
+// expectedVertices estimates the unique-vertex count for sizing the
+// localizer: the full fanout tree is an upper bound, dedup brings it down.
+func expectedVertices(seeds int, fanouts []int) int {
+	total := seeds
+	layer := seeds
+	for _, f := range fanouts {
+		layer *= f
+		total += layer
+		if total > 1<<22 {
+			return 1 << 22
+		}
+	}
+	return total
+}

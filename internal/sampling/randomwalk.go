@@ -1,0 +1,128 @@
+package sampling
+
+import (
+	"fmt"
+	"sort"
+
+	"gnnlab/internal/graph"
+	"gnnlab/internal/rng"
+)
+
+// RandomWalk is PinSAGE-style neighborhood selection [58]: for each frontier
+// vertex, run NumPaths random walks of WalkLength steps and take the
+// NumNeighbors most-visited vertices as its sampled neighborhood. Layers
+// repeats the construction to stack multiple GNN layers.
+type RandomWalk struct {
+	Layers       int
+	NumPaths     int
+	WalkLength   int
+	NumNeighbors int
+}
+
+// NewRandomWalk returns a PinSAGE-style sampler. The paper's PinSAGE setup
+// is NewRandomWalk(3, 4, 3, 5): 3 layers, each selecting 5 neighbors from
+// 4 paths of length 3.
+func NewRandomWalk(layers, numPaths, walkLength, numNeighbors int) *RandomWalk {
+	if layers <= 0 || numPaths <= 0 || walkLength <= 0 || numNeighbors <= 0 {
+		panic("sampling: NewRandomWalk with non-positive parameter")
+	}
+	return &RandomWalk{
+		Layers:       layers,
+		NumPaths:     numPaths,
+		WalkLength:   walkLength,
+		NumNeighbors: numNeighbors,
+	}
+}
+
+// Clone returns an independent sampler (RandomWalk is stateless, so the
+// receiver itself is safe to share, but Clone keeps the executor contract
+// uniform).
+func (w *RandomWalk) Clone() Algorithm { return w }
+
+// Name implements Algorithm.
+func (w *RandomWalk) Name() string {
+	return fmt.Sprintf("random-walks(%dx%d)", w.NumPaths, w.WalkLength)
+}
+
+// NumHops implements Algorithm.
+func (w *RandomWalk) NumHops() int { return w.Layers }
+
+// Sample implements Algorithm.
+func (w *RandomWalk) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
+	fanouts := make([]int, w.Layers)
+	for i := range fanouts {
+		fanouts[i] = w.NumNeighbors
+	}
+	expect := expectedVertices(len(seeds), fanouts)
+	loc := newLocalizer(expect)
+	s := &Sample{Seeds: seeds, Layers: make([]Layer, 0, w.Layers)}
+	for _, seed := range seeds {
+		loc.add(seed)
+	}
+	visits := make(map[int32]int32, w.NumPaths*w.WalkLength)
+	frontierStart := 0
+	for layerIdx := 0; layerIdx < w.Layers; layerIdx++ {
+		frontierEnd := loc.numVertices()
+		layer := Layer{NumDst: frontierEnd - frontierStart}
+		capHint := layer.NumDst * w.NumNeighbors
+		layer.Src = make([]int32, 0, capHint)
+		layer.Dst = make([]int32, 0, capHint)
+		for dstLocal := frontierStart; dstLocal < frontierEnd; dstLocal++ {
+			v := loc.input[dstLocal]
+			clear(visits)
+			for p := 0; p < w.NumPaths; p++ {
+				cur := v
+				for step := 0; step < w.WalkLength; step++ {
+					adj := g.Adj(cur)
+					if len(adj) == 0 {
+						break
+					}
+					cur = adj[r.Intn(len(adj))]
+					visits[cur]++
+					s.Walks++
+					s.ScannedEdges++
+				}
+			}
+			for _, nbr := range topVisited(visits, w.NumNeighbors, v) {
+				layer.Src = append(layer.Src, loc.add(nbr))
+				layer.Dst = append(layer.Dst, int32(dstLocal))
+				s.SampledEdges++
+			}
+		}
+		layer.NumVertices = loc.numVertices()
+		s.Layers = append(s.Layers, layer)
+		frontierStart = frontierEnd
+	}
+	s.Input = loc.input
+	return s
+}
+
+// topVisited returns up to k most-visited vertices (excluding self), ties
+// broken by ascending vertex ID for determinism.
+func topVisited(visits map[int32]int32, k int, self int32) []int32 {
+	type vc struct {
+		v int32
+		c int32
+	}
+	cand := make([]vc, 0, len(visits))
+	for v, c := range visits {
+		if v == self {
+			continue
+		}
+		cand = append(cand, vc{v, c})
+	}
+	sort.Slice(cand, func(i, j int) bool {
+		if cand[i].c != cand[j].c {
+			return cand[i].c > cand[j].c
+		}
+		return cand[i].v < cand[j].v
+	})
+	if len(cand) > k {
+		cand = cand[:k]
+	}
+	out := make([]int32, len(cand))
+	for i, c := range cand {
+		out[i] = c.v
+	}
+	return out
+}

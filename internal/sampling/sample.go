@@ -1,0 +1,200 @@
+// Package sampling implements the Sample stage of the SET model (§2):
+// graph sampling algorithms that, starting from a mini-batch of training
+// vertices, select a bounded neighborhood, deduplicate the sampled vertices
+// and reassign them consecutive local IDs starting at zero (Figure 1).
+//
+// Algorithms provided: k-hop uniform neighborhood sampling in a GPU-friendly
+// Fisher–Yates variant (GNNLab/T_SOTA) and a reservoir variant whose cost is
+// proportional to vertex degree (the DGL baseline, §7.3), k-hop weighted
+// neighborhood sampling, and PinSAGE-style random walks.
+package sampling
+
+import (
+	"fmt"
+
+	"gnnlab/internal/graph"
+	"gnnlab/internal/rng"
+)
+
+// Layer is one bipartite sampling block. Edges connect a sampled neighbor
+// (Src) to the vertex whose neighborhood was sampled (Dst); both sides use
+// local IDs into Sample.Input.
+type Layer struct {
+	Src []int32 // local IDs of sampled neighbors, len == len(Dst)
+	Dst []int32 // local IDs of target vertices
+	// NumDst is the number of target vertices of this layer (the frontier
+	// the layer expanded).
+	NumDst int
+	// NumVertices is the number of unique local vertices known after this
+	// layer, i.e. targets of the *next* layer live in [0, NumVertices).
+	NumVertices int
+}
+
+// Sample is the output of the Sample stage for one mini-batch: the unique
+// sampled vertices (global IDs, position = local ID; seeds come first) plus
+// per-hop bipartite layers, ordered from the seeds outward.
+type Sample struct {
+	Seeds  []int32
+	Input  []int32 // unique global IDs; Input[local] = global
+	Layers []Layer
+
+	// CachedMask marks, per local vertex, whether its feature resides in
+	// the trainer-side GPU cache. GNNLab marks this during the Sample
+	// stage (§5.2, "M" in Table 5); it is nil until marked.
+	CachedMask []bool
+
+	// Subgraph marks induced-subgraph samples (ClusterGCN, GraphSAINT):
+	// their single layer targets every member vertex rather than an
+	// expanding frontier, so layer targets may reference locals
+	// introduced by the same layer.
+	Subgraph bool
+
+	// Work accounting, consumed by the device cost model.
+	SampledEdges int64 // neighbor draws performed
+	ScannedEdges int64 // adjacency entries touched (reservoir ∝ degree)
+	Walks        int64 // random-walk steps, for the walk-based algorithms
+}
+
+// NumInput returns the number of unique sampled vertices, i.e. how many
+// feature rows the Extract stage must provide.
+func (s *Sample) NumInput() int { return len(s.Input) }
+
+// Bytes estimates the in-memory size of the sample task itself (what gets
+// copied through the global queue: "C" in Table 5).
+func (s *Sample) Bytes() int64 {
+	b := int64(len(s.Input)+len(s.Seeds)) * 4
+	for _, l := range s.Layers {
+		b += int64(len(l.Src)+len(l.Dst)) * 4
+	}
+	if s.CachedMask != nil {
+		b += int64(len(s.CachedMask))
+	}
+	return b
+}
+
+// Validate checks the structural invariants a correct sampler must uphold.
+func (s *Sample) Validate() error {
+	if len(s.Input) < len(s.Seeds) {
+		return fmt.Errorf("sampling: %d inputs but %d seeds", len(s.Input), len(s.Seeds))
+	}
+	for i, seed := range s.Seeds {
+		if s.Input[i] != seed {
+			return fmt.Errorf("sampling: input[%d] = %d, want seed %d", i, s.Input[i], seed)
+		}
+	}
+	seen := make(map[int32]bool, len(s.Input))
+	for local, global := range s.Input {
+		if seen[global] {
+			return fmt.Errorf("sampling: duplicate global vertex %d at local %d", global, local)
+		}
+		seen[global] = true
+	}
+	known := len(s.Seeds)
+	for li, l := range s.Layers {
+		if len(l.Src) != len(l.Dst) {
+			return fmt.Errorf("sampling: layer %d: len(Src)=%d len(Dst)=%d", li, len(l.Src), len(l.Dst))
+		}
+		dstBound := known
+		if s.Subgraph {
+			// Induced subgraphs target every member of the layer.
+			dstBound = l.NumVertices
+		}
+		for _, d := range l.Dst {
+			if d < 0 || int(d) >= dstBound {
+				return fmt.Errorf("sampling: layer %d targets unknown local %d (bound %d)", li, d, dstBound)
+			}
+		}
+		for _, src := range l.Src {
+			if src < 0 || int(src) >= l.NumVertices {
+				return fmt.Errorf("sampling: layer %d: src local %d out of range %d", li, src, l.NumVertices)
+			}
+		}
+		if l.NumVertices < known || l.NumVertices > len(s.Input) {
+			return fmt.Errorf("sampling: layer %d: NumVertices %d out of range [%d,%d]", li, l.NumVertices, known, len(s.Input))
+		}
+		known = l.NumVertices
+	}
+	if known != len(s.Input) {
+		return fmt.Errorf("sampling: layers cover %d locals, input has %d", known, len(s.Input))
+	}
+	return nil
+}
+
+// Algorithm is a graph sampling scheme following the programming model of
+// §5.1: given a graph and a mini-batch of seeds it returns a Sample.
+// Implementations must be deterministic in (graph, seeds, r).
+type Algorithm interface {
+	Name() string
+	// NumHops returns the number of layers the algorithm produces.
+	NumHops() int
+	Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample
+}
+
+// localizer assigns consecutive local IDs to global vertex IDs — the
+// dedup+remap step of Figure 1. It uses open addressing keyed by global ID,
+// sized for the expected frontier, because this is the hottest path of the
+// Sample stage.
+type localizer struct {
+	keys   []int32 // global ID + 1, 0 = empty
+	vals   []int32 // local ID
+	mask   uint32
+	input  []int32
+	filled int
+}
+
+func newLocalizer(expected int) *localizer {
+	size := 64
+	for size < expected*2 {
+		size <<= 1
+	}
+	return &localizer{
+		keys:  make([]int32, size),
+		vals:  make([]int32, size),
+		mask:  uint32(size - 1),
+		input: make([]int32, 0, expected),
+	}
+}
+
+// add returns the local ID of global, inserting it if new.
+func (m *localizer) add(global int32) int32 {
+	h := uint32(global+1) * 2654435761 & m.mask
+	for {
+		k := m.keys[h]
+		if k == 0 {
+			if m.filled*2 >= len(m.keys) {
+				m.grow()
+				return m.add(global)
+			}
+			m.keys[h] = global + 1
+			local := int32(len(m.input))
+			m.vals[h] = local
+			m.input = append(m.input, global)
+			m.filled++
+			return local
+		}
+		if k == global+1 {
+			return m.vals[h]
+		}
+		h = (h + 1) & m.mask
+	}
+}
+
+func (m *localizer) grow() {
+	oldKeys, oldVals := m.keys, m.vals
+	m.keys = make([]int32, len(oldKeys)*2)
+	m.vals = make([]int32, len(oldVals)*2)
+	m.mask = uint32(len(m.keys) - 1)
+	for i, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		h := uint32(k) * 2654435761 & m.mask
+		for m.keys[h] != 0 {
+			h = (h + 1) & m.mask
+		}
+		m.keys[h] = k
+		m.vals[h] = oldVals[i]
+	}
+}
+
+func (m *localizer) numVertices() int { return len(m.input) }

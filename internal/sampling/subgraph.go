@@ -1,0 +1,228 @@
+package sampling
+
+import (
+	"fmt"
+
+	"gnnlab/internal/graph"
+	"gnnlab/internal/rng"
+)
+
+// Subgraph-based sampling algorithms (§8, "Other sampling algorithms"):
+// instead of expanding L-hop neighborhoods per seed, they select a vertex
+// set and train on its induced subgraph. Their access footprints are far
+// more uniform across epochs, which is exactly the regime the paper
+// predicts limits PreSC's advantage while GNNLab's larger cache capacity
+// still helps — the ablation-subgraph experiment measures this.
+//
+// A subgraph sample is encoded as a single Layer whose targets are every
+// member vertex and whose edges are the induced adjacency. NumHops() is 1;
+// models consuming these samples apply their convolutions over the same
+// induced structure at every layer (as ClusterGCN does).
+
+// inducedSample builds the single-layer induced-subgraph sample for the
+// given member set (seeds must be a prefix of members).
+func inducedSample(g *graph.CSR, seeds, members []int32) *Sample {
+	loc := newLocalizer(len(members) * 2)
+	s := &Sample{Seeds: seeds, Subgraph: true}
+	for _, v := range members {
+		loc.add(v)
+	}
+	inSet := make(map[int32]int32, len(members))
+	for local, v := range loc.input {
+		inSet[v] = int32(local)
+	}
+	layer := Layer{NumDst: len(members)}
+	for dstLocal, v := range loc.input {
+		for _, nbr := range g.Adj(v) {
+			srcLocal, ok := inSet[nbr]
+			if !ok {
+				continue
+			}
+			layer.Src = append(layer.Src, srcLocal)
+			layer.Dst = append(layer.Dst, int32(dstLocal))
+			s.SampledEdges++
+		}
+		s.ScannedEdges += g.Degree(v)
+	}
+	layer.NumVertices = loc.numVertices()
+	s.Layers = []Layer{layer}
+	s.Input = loc.input
+	return s
+}
+
+// ClusterGCN is the cluster-based subgraph sampler [15]: the graph is
+// pre-partitioned once; a mini-batch trains on the induced subgraph of the
+// clusters its seed vertices belong to.
+type ClusterGCN struct {
+	NumClusters int
+	Seed        uint64
+
+	// assignment is built lazily per graph and shared across clones.
+	state *clusterState
+}
+
+type clusterState struct {
+	built    bool
+	g        *graph.CSR
+	clusters [][]int32
+	assign   []int32
+}
+
+// NewClusterGCN returns a cluster sampler partitioning into numClusters.
+func NewClusterGCN(numClusters int, seed uint64) *ClusterGCN {
+	if numClusters <= 0 {
+		panic("sampling: NewClusterGCN with non-positive cluster count")
+	}
+	return &ClusterGCN{NumClusters: numClusters, Seed: seed, state: &clusterState{}}
+}
+
+// Clone shares the partition across executors.
+func (c *ClusterGCN) Clone() Algorithm { return c }
+
+// Name implements Algorithm.
+func (c *ClusterGCN) Name() string { return fmt.Sprintf("cluster-gcn(%d)", c.NumClusters) }
+
+// NumHops implements Algorithm: subgraph samples are single-layer.
+func (c *ClusterGCN) NumHops() int { return 1 }
+
+func (c *ClusterGCN) ensure(g *graph.CSR) {
+	if c.state.built && c.state.g == g {
+		return
+	}
+	clusters := graph.Partition(g, c.NumClusters, c.Seed)
+	c.state = &clusterState{
+		built:    true,
+		g:        g,
+		clusters: clusters,
+		assign:   graph.PartitionAssignment(clusters, g.NumVertices()),
+	}
+}
+
+// Sample implements Algorithm: the member set is the union of the seeds'
+// clusters (seeds listed first).
+func (c *ClusterGCN) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
+	c.ensure(g)
+	_ = r
+	seen := map[int32]bool{}
+	members := append([]int32(nil), seeds...)
+	for _, v := range seeds {
+		seen[v] = true
+	}
+	picked := map[int32]bool{}
+	for _, v := range seeds {
+		picked[c.state.assign[v]] = true
+	}
+	for cid := range picked {
+		for _, v := range c.state.clusters[cid] {
+			if !seen[v] {
+				seen[v] = true
+				members = append(members, v)
+			}
+		}
+	}
+	return inducedSample(g, seeds, members)
+}
+
+// SAINTNode is GraphSAINT's node sampler [61]: the member set is the seeds
+// plus uniformly random vertices up to a budget; training runs on the
+// induced subgraph.
+type SAINTNode struct {
+	Budget int
+}
+
+// NewSAINTNode returns a node-budget subgraph sampler.
+func NewSAINTNode(budget int) *SAINTNode {
+	if budget <= 0 {
+		panic("sampling: NewSAINTNode with non-positive budget")
+	}
+	return &SAINTNode{Budget: budget}
+}
+
+// Clone implements Cloner (stateless).
+func (s *SAINTNode) Clone() Algorithm { return s }
+
+// Name implements Algorithm.
+func (s *SAINTNode) Name() string { return fmt.Sprintf("saint-node(%d)", s.Budget) }
+
+// NumHops implements Algorithm.
+func (s *SAINTNode) NumHops() int { return 1 }
+
+// Sample implements Algorithm.
+func (s *SAINTNode) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
+	n := g.NumVertices()
+	seen := make(map[int32]bool, s.Budget+len(seeds))
+	members := append([]int32(nil), seeds...)
+	for _, v := range seeds {
+		seen[v] = true
+	}
+	for len(members) < s.Budget+len(seeds) && len(members) < n {
+		v := int32(r.Intn(n))
+		if !seen[v] {
+			seen[v] = true
+			members = append(members, v)
+		}
+	}
+	return inducedSample(g, seeds, members)
+}
+
+// SAINTEdge is GraphSAINT's edge sampler: the member set is the endpoints
+// of uniformly sampled edges plus the seeds.
+type SAINTEdge struct {
+	EdgeBudget int
+}
+
+// NewSAINTEdge returns an edge-budget subgraph sampler.
+func NewSAINTEdge(budget int) *SAINTEdge {
+	if budget <= 0 {
+		panic("sampling: NewSAINTEdge with non-positive budget")
+	}
+	return &SAINTEdge{EdgeBudget: budget}
+}
+
+// Clone implements Cloner (stateless).
+func (s *SAINTEdge) Clone() Algorithm { return s }
+
+// Name implements Algorithm.
+func (s *SAINTEdge) Name() string { return fmt.Sprintf("saint-edge(%d)", s.EdgeBudget) }
+
+// NumHops implements Algorithm.
+func (s *SAINTEdge) NumHops() int { return 1 }
+
+// Sample implements Algorithm.
+func (s *SAINTEdge) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
+	e := g.NumEdges()
+	seen := make(map[int32]bool, 2*s.EdgeBudget+len(seeds))
+	members := append([]int32(nil), seeds...)
+	for _, v := range seeds {
+		seen[v] = true
+	}
+	add := func(v int32) {
+		if !seen[v] {
+			seen[v] = true
+			members = append(members, v)
+		}
+	}
+	for i := 0; i < s.EdgeBudget; i++ {
+		idx := int64(r.Uint64n(uint64(e)))
+		dst := g.ColIdx[idx]
+		src := edgeSource(g, idx)
+		add(src)
+		add(dst)
+	}
+	return inducedSample(g, seeds, members)
+}
+
+// edgeSource finds the source vertex of the edge at CSR offset idx by
+// binary searching the row pointers.
+func edgeSource(g *graph.CSR, idx int64) int32 {
+	lo, hi := 0, g.NumVertices()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.RowPtr[mid+1] <= idx {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int32(lo)
+}

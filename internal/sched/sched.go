@@ -1,0 +1,72 @@
+// Package sched implements GNNLab's flexible scheduling (§5.3): the
+// closed-form GPU allocation between Samplers and Trainers, and the
+// dynamic executor switching decision with its profit metric.
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// Allocation is a division of the machine's GPUs between executor roles.
+type Allocation struct {
+	Samplers int // N_s
+	Trainers int // N_t
+}
+
+// String renders the paper's "mSnT" notation.
+func (a Allocation) String() string { return fmt.Sprintf("%dS%dT", a.Samplers, a.Trainers) }
+
+// Allocate computes the paper's formula
+//
+//	N_s = ⌈ N_g / (K+1) ⌉,  K = T_t / T_s
+//
+// where T_s and T_t are the per-mini-batch processing times of a Sampler
+// and a Trainer measured on a probe epoch. GNNLab rounds *up* for Samplers
+// because temporarily switching a Sampler into a Trainer is fast, but not
+// vice versa (the Sampler would first have to reload the graph topology).
+func Allocate(numGPUs int, sampleTime, trainTime float64) Allocation {
+	if numGPUs <= 0 {
+		panic("sched: Allocate with no GPUs")
+	}
+	if numGPUs == 1 {
+		// Single-GPU mode: the one GPU alternates roles (§5.3); it is
+		// accounted as a Sampler with a standby Trainer.
+		return Allocation{Samplers: 1, Trainers: 0}
+	}
+	if sampleTime <= 0 {
+		return Allocation{Samplers: 1, Trainers: numGPUs - 1}
+	}
+	k := trainTime / sampleTime
+	ns := int(math.Ceil(float64(numGPUs) / (k + 1)))
+	if ns < 1 {
+		ns = 1
+	}
+	if ns >= numGPUs {
+		ns = numGPUs - 1
+	}
+	return Allocation{Samplers: ns, Trainers: numGPUs - ns}
+}
+
+// SwitchProfit computes the dynamic-switching profit metric (§5.3):
+//
+//	P = M_r × T_t / N_t − T_t′   (N_t > 0)
+//	P = +∞                       (N_t = 0)
+//
+// where M_r is the number of tasks remaining in the global queue, T_t the
+// per-task time of a normal Trainer, N_t the number of normal Trainers and
+// T_t′ the per-task time of the standby Trainer (slower: its GPU keeps the
+// graph topology resident, so its cache is smaller). The standby Trainer
+// wakes when P > 0: it can finish one task before the normal Trainers
+// drain the queue.
+func SwitchProfit(remaining int, trainTime float64, numTrainers int, standbyTrainTime float64) float64 {
+	if numTrainers <= 0 {
+		return math.Inf(1)
+	}
+	return float64(remaining)*trainTime/float64(numTrainers) - standbyTrainTime
+}
+
+// ShouldSwitch reports whether a standby Trainer should take a task.
+func ShouldSwitch(remaining int, trainTime float64, numTrainers int, standbyTrainTime float64) bool {
+	return SwitchProfit(remaining, trainTime, numTrainers, standbyTrainTime) > 0
+}

@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocateFormula(t *testing.T) {
+	cases := []struct {
+		gpus        int
+		ts, tt      float64
+		wantS       int
+		description string
+	}{
+		{8, 1, 4, 2, "paper GCN/PA regime: K=4 -> ceil(8/5)=2"},
+		{8, 1, 10, 1, "train-heavy (PinSAGE): K=10 -> 1 sampler"},
+		{8, 1, 1.6, 4, "sample-heavy (GraphSAGE/PR): K=1.6 -> ceil(8/2.6)=4"},
+		{8, 1, 0.1, 7, "degenerate: trainers almost free, cap at N_g-1"},
+		{2, 1, 9, 1, "two GPUs always split 1/1"},
+		{4, 2, 6, 1, "K=3 -> ceil(4/4)=1"},
+	}
+	for _, c := range cases {
+		got := Allocate(c.gpus, c.ts, c.tt)
+		if got.Samplers != c.wantS {
+			t.Errorf("%s: Allocate(%d, %v, %v) = %v, want %dS", c.description, c.gpus, c.ts, c.tt, got, c.wantS)
+		}
+		if got.Samplers+got.Trainers != c.gpus {
+			t.Errorf("%s: allocation %v does not cover %d GPUs", c.description, got, c.gpus)
+		}
+	}
+}
+
+func TestAllocateSingleGPU(t *testing.T) {
+	got := Allocate(1, 1, 5)
+	if got.Samplers != 1 || got.Trainers != 0 {
+		t.Errorf("single GPU allocation = %v, want 1S0T", got)
+	}
+}
+
+func TestAllocateZeroSampleTime(t *testing.T) {
+	got := Allocate(8, 0, 5)
+	if got.Samplers != 1 || got.Trainers != 7 {
+		t.Errorf("zero T_s allocation = %v, want 1S7T", got)
+	}
+}
+
+func TestAllocateBoundsProperty(t *testing.T) {
+	if err := quick.Check(func(gRaw uint8, tsRaw, ttRaw uint16) bool {
+		gpus := int(gRaw%16) + 2
+		ts := float64(tsRaw)/100 + 0.001
+		tt := float64(ttRaw)/100 + 0.001
+		a := Allocate(gpus, ts, tt)
+		return a.Samplers >= 1 && a.Trainers >= 1 && a.Samplers+a.Trainers == gpus
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocatePrefersSamplersOnTies(t *testing.T) {
+	// K = 1: N_s = ceil(8/2) = 4, the ceiling (not floor) because
+	// switching samplers into trainers is cheap, not vice versa.
+	got := Allocate(8, 1, 1)
+	if got.Samplers != 4 {
+		t.Errorf("K=1 allocation = %v, want 4S", got)
+	}
+	// K slightly above 1 still rounds up.
+	got = Allocate(7, 1, 1.05)
+	if want := int(math.Ceil(7 / 2.05)); got.Samplers != want {
+		t.Errorf("allocation = %v, want %dS", got, want)
+	}
+}
+
+func TestAllocationString(t *testing.T) {
+	if got := (Allocation{Samplers: 2, Trainers: 6}).String(); got != "2S6T" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSwitchProfit(t *testing.T) {
+	// P = M_r*T_t/N_t - T_t'
+	if got := SwitchProfit(10, 2, 4, 3); got != 10*2.0/4-3 {
+		t.Errorf("profit = %v", got)
+	}
+	if !math.IsInf(SwitchProfit(1, 1, 0, 100), 1) {
+		t.Error("zero trainers must yield +inf profit")
+	}
+}
+
+func TestShouldSwitch(t *testing.T) {
+	cases := []struct {
+		remaining int
+		tt        float64
+		nt        int
+		standby   float64
+		want      bool
+	}{
+		{20, 1, 1, 1.5, true}, // long queue, one trainer: switch
+		{1, 1, 8, 1.5, false}, // nearly drained: don't
+		{5, 1, 0, 100, true},  // no trainers: always switch
+		{4, 1, 4, 1, false},   // P = 0 exactly: don't (strictly >)
+		{5, 1, 4, 1, true},    // P > 0
+	}
+	for _, c := range cases {
+		if got := ShouldSwitch(c.remaining, c.tt, c.nt, c.standby); got != c.want {
+			t.Errorf("ShouldSwitch(%d,%v,%d,%v) = %v, want %v",
+				c.remaining, c.tt, c.nt, c.standby, got, c.want)
+		}
+	}
+}
+
+func TestAllocatePanicsOnNoGPUs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Allocate(0) did not panic")
+		}
+	}()
+	Allocate(0, 1, 1)
+}

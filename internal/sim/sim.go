@@ -1,0 +1,339 @@
+// Package sim is the discrete-event engine that turns per-mini-batch stage
+// durations (produced by the device cost model from real measured work)
+// into end-to-end epoch timelines. It models the factored pipeline of §5:
+// producers (Samplers) feed a FIFO global queue, consumers (Trainers) run
+// a two-stage Extract→Train pipeline, gradient synchronization barriers
+// couple consumers, and standby Trainers join late under the dynamic
+// switching profit rule of §5.3.
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// Seconds is simulated time.
+type Seconds = float64
+
+// Task is one mini-batch flowing through the pipeline with its
+// pre-computed stage durations.
+type Task struct {
+	// Sample is the Sample-stage duration (including marking and queue
+	// copy where applicable).
+	Sample Seconds
+	// Extract and Train are the consumer-side durations on a normal
+	// Trainer.
+	Extract Seconds
+	Train   Seconds
+	// StandbyExtract is the Extract duration on a standby Trainer,
+	// whose cache is smaller because its GPU keeps the graph topology
+	// resident; zero means "same as Extract".
+	StandbyExtract Seconds
+
+	// Ready is filled by Produce: when the task enters the global queue.
+	Ready Seconds
+}
+
+// standbyExtract returns the effective standby extract duration.
+func (t Task) standbyExtract() Seconds {
+	if t.StandbyExtract > 0 {
+		return t.StandbyExtract
+	}
+	return t.Extract
+}
+
+// Produce assigns tasks dynamically to numProducers Samplers (each next
+// task goes to the earliest-free producer, the global scheduler of §5.2)
+// starting at startAt, filling each task's Ready time. It returns the
+// per-producer finish times — the moments those GPUs become eligible to
+// switch into standby Trainers.
+func Produce(tasks []Task, numProducers int, startAt Seconds) (producerFinish []Seconds) {
+	if numProducers <= 0 {
+		panic("sim: Produce with no producers")
+	}
+	free := make([]Seconds, numProducers)
+	for i := range free {
+		free[i] = startAt
+	}
+	for i := range tasks {
+		p := argmin(free)
+		free[p] += tasks[i].Sample
+		tasks[i].Ready = free[p]
+	}
+	return free
+}
+
+// ConsumeOptions configures the consumer side of an epoch.
+type ConsumeOptions struct {
+	// NumTrainers is the number of normal Trainers (may be zero when
+	// standby Trainers do all the work, e.g. single-GPU mode).
+	NumTrainers int
+	// Sync couples Trainers with a gradient-synchronization barrier per
+	// iteration round (DGL-compatible synchronous updates, §7.1). When
+	// false, updates are asynchronous with bounded staleness.
+	Sync bool
+	// Pipelined lets a Trainer's Extract of batch k+1 overlap Train of
+	// batch k (§5.2); when false the two stages serialize.
+	Pipelined bool
+	// StandbyAvailable lists, per standby Trainer, the time it becomes
+	// eligible (its Sampler finished the epoch's mini-batches). Empty
+	// means dynamic switching is disabled.
+	StandbyAvailable []Seconds
+	// TrainerTaskTime is T_t, the estimated per-task time of a normal
+	// Trainer, and StandbyTaskTime is T_t′, both used by the switching
+	// profit metric.
+	TrainerTaskTime Seconds
+	StandbyTaskTime Seconds
+	// Trace records a per-task Timeline in the Result.
+	Trace bool
+	// TrainerSlowdown optionally scales the Extract and Train durations
+	// of each normal Trainer (index-aligned; 1 or 0 = full speed). It
+	// models the multi-tenant contention of §5.3, where other workloads
+	// temporarily slow some GPUs.
+	TrainerSlowdown []float64
+}
+
+// Result summarizes a consumed epoch.
+type Result struct {
+	// Makespan is when the last Train completes.
+	Makespan Seconds
+	// TasksByStandby counts tasks taken by standby Trainers.
+	TasksByStandby int
+	// TrainerBusy is accumulated Extract+Train busy time per normal
+	// Trainer (utilization = busy / makespan).
+	TrainerBusy []Seconds
+	// Timeline holds one record per task in dequeue order when
+	// ConsumeOptions.Trace is set; nil otherwise.
+	Timeline []TaskTiming
+}
+
+// TaskTiming records where and when one task executed — the material for
+// timeline inspection and for the engine's own invariant tests.
+type TaskTiming struct {
+	Task                     int // index into the tasks slice
+	Consumer                 int // consumer index; standbys follow normal trainers
+	Standby                  bool
+	Ready                    Seconds
+	ExtractStart, ExtractEnd Seconds
+	TrainStart, TrainEnd     Seconds
+}
+
+// consumer is the runtime state of one Trainer in the event loop.
+type consumer struct {
+	standby     bool
+	availableAt Seconds
+	extractFree Seconds
+	trainFree   Seconds
+	busy        Seconds
+	// slowdown scales this consumer's stage durations (>= 1; 0 treated
+	// as 1 for standby consumers constructed without it).
+	slowdown float64
+}
+
+// scale returns d adjusted for the consumer's slowdown.
+func (c *consumer) scale(d Seconds) Seconds {
+	if c.slowdown > 1 {
+		return d * c.slowdown
+	}
+	return d
+}
+
+// earliestStart returns when c could begin extracting a task that became
+// ready at `ready`.
+func (c *consumer) earliestStart(ready Seconds) Seconds {
+	s := c.extractFree
+	if c.availableAt > s {
+		s = c.availableAt
+	}
+	if ready > s {
+		s = ready
+	}
+	return s
+}
+
+// Consume drains tasks (in FIFO order of Ready time) through the
+// configured Trainers and returns the epoch result. Tasks must have Ready
+// set (use Produce, or leave zero for pre-staged tasks).
+func Consume(tasks []Task, opts ConsumeOptions) Result {
+	if opts.NumTrainers <= 0 && len(opts.StandbyAvailable) == 0 {
+		panic("sim: Consume with no trainers at all")
+	}
+	order := make([]int, len(tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return tasks[order[a]].Ready < tasks[order[b]].Ready })
+
+	consumers := make([]*consumer, 0, opts.NumTrainers+len(opts.StandbyAvailable))
+	for i := 0; i < opts.NumTrainers; i++ {
+		c := &consumer{slowdown: 1}
+		if i < len(opts.TrainerSlowdown) && opts.TrainerSlowdown[i] > 1 {
+			c.slowdown = opts.TrainerSlowdown[i]
+		}
+		consumers = append(consumers, c)
+	}
+	for _, at := range opts.StandbyAvailable {
+		consumers = append(consumers, &consumer{standby: true, availableAt: at})
+	}
+
+	res := Result{TrainerBusy: make([]Seconds, opts.NumTrainers)}
+	var barrier Seconds // sync mode: last round's gradient exchange point
+	roundEnd := Seconds(0)
+	inRound := 0
+	// A synchronous round spans one training step on every consumer that
+	// is available when the round opens (standby Trainers join rounds
+	// only once their Sampler has finished).
+	roundSize := activeConsumersAt(consumers, 0)
+
+	// plan projects when consumer c would start and finish training the
+	// task, respecting its extract unit and its train unit. The sync
+	// barrier is intentionally excluded: it delays every consumer
+	// equally, so including it would mask per-consumer backlog and make
+	// selection degenerate (e.g. a standby Trainer could never win a
+	// tie against a backed-up normal Trainer). Callers apply the barrier
+	// to the chosen consumer's actual start.
+	plan := func(c *consumer, t *Task) (extractStart, trainStart Seconds) {
+		extractStart = c.earliestStart(t.Ready)
+		extract := t.Extract
+		if c.standby {
+			extract = t.standbyExtract()
+		}
+		trainStart = extractStart + c.scale(extract)
+		if c.trainFree > trainStart {
+			trainStart = c.trainFree
+		}
+		return extractStart, trainStart
+	}
+
+	for pos, idx := range order {
+		t := &tasks[idx]
+		remaining := len(order) - pos // tasks not yet dequeued, incl. this one
+
+		// Pick the consumer that would start training this task first
+		// (ties: earliest extract start, then lowest index). Standby
+		// Trainers are only eligible when the profit metric says so.
+		pick := func(includeIdleStandby bool) int {
+			best := -1
+			bestTrain, bestExtract := math.Inf(1), math.Inf(1)
+			for ci, c := range consumers {
+				if c.standby && !includeIdleStandby && !standbyProfitable(remaining, opts) {
+					continue
+				}
+				es, ts := plan(c, t)
+				if ts < bestTrain || (ts == bestTrain && es < bestExtract) {
+					best, bestTrain, bestExtract = ci, ts, es
+				}
+			}
+			return best
+		}
+		best := pick(false)
+		if best < 0 { // only standbys exist and none profitable: forced
+			best = pick(true)
+		}
+		c := consumers[best]
+
+		extract := t.Extract
+		if c.standby {
+			extract = t.standbyExtract()
+			res.TasksByStandby++
+		}
+		extract = c.scale(extract)
+		extractStart, trainStart := plan(c, t)
+		if opts.Sync && barrier > trainStart {
+			trainStart = barrier
+		}
+		extractEnd := extractStart + extract
+		trainEnd := trainStart + c.scale(t.Train)
+
+		if opts.Pipelined {
+			// Next extract may start as soon as this one vacates the
+			// extract unit.
+			c.extractFree = extractEnd
+		} else {
+			c.extractFree = trainEnd
+		}
+		c.trainFree = trainEnd
+		c.busy += extract + t.Train
+		if !c.standby {
+			res.TrainerBusy[best] += extract + t.Train
+		}
+		if trainEnd > res.Makespan {
+			res.Makespan = trainEnd
+		}
+		if opts.Trace {
+			res.Timeline = append(res.Timeline, TaskTiming{
+				Task:         idx,
+				Consumer:     best,
+				Standby:      c.standby,
+				Ready:        t.Ready,
+				ExtractStart: extractStart,
+				ExtractEnd:   extractEnd,
+				TrainStart:   trainStart,
+				TrainEnd:     trainEnd,
+			})
+		}
+
+		// Synchronous rounds: after one task per available consumer, a
+		// gradient exchange couples the trainers.
+		if opts.Sync {
+			if trainEnd > roundEnd {
+				roundEnd = trainEnd
+			}
+			inRound++
+			if inRound >= roundSize {
+				barrier = roundEnd
+				inRound = 0
+				roundEnd = 0
+				roundSize = activeConsumersAt(consumers, barrier)
+			}
+		}
+	}
+	return res
+}
+
+// standbyProfitable evaluates the §5.3 profit metric for the current queue
+// depth.
+func standbyProfitable(remaining int, opts ConsumeOptions) bool {
+	if opts.NumTrainers == 0 {
+		return true // P = +∞
+	}
+	p := float64(remaining)*opts.TrainerTaskTime/float64(opts.NumTrainers) - opts.StandbyTaskTime
+	return p > 0
+}
+
+// activeConsumersAt counts consumers available at simulated time t
+// (standbys count once their Sampler has finished).
+func activeConsumersAt(cs []*consumer, t Seconds) int {
+	n := 0
+	for _, c := range cs {
+		if c.availableAt <= t {
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+// RunEpoch wires Produce and Consume together: numSamplers produce the
+// tasks from time zero, standby switching (if enabled in opts) uses the
+// producers' finish times. It returns the epoch makespan and result.
+func RunEpoch(tasks []Task, numSamplers int, opts ConsumeOptions) Result {
+	finish := Produce(tasks, numSamplers, 0)
+	if opts.StandbyAvailable != nil {
+		// Samplers become standby Trainers when they finish producing.
+		opts.StandbyAvailable = append([]Seconds(nil), finish...)
+	}
+	return Consume(tasks, opts)
+}
+
+func argmin(xs []Seconds) int {
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// checkTimelineInvariants validates the physical consistency of an
+// execution timeline:
+//
+//  1. a task's extract never starts before the task is ready;
+//  2. a task trains only after its extract completes;
+//  3. a consumer's extract unit never runs two tasks at once;
+//  4. a consumer's train unit never runs two tasks at once;
+//  5. without pipelining, a consumer is fully serial.
+func checkTimelineInvariants(t *testing.T, tl []TaskTiming, pipelined bool) {
+	t.Helper()
+	perConsumer := map[int][]TaskTiming{}
+	for _, rec := range tl {
+		if rec.ExtractStart < rec.Ready-1e-12 {
+			t.Fatalf("task %d extracts at %v before ready %v", rec.Task, rec.ExtractStart, rec.Ready)
+		}
+		if rec.TrainStart < rec.ExtractEnd-1e-12 {
+			t.Fatalf("task %d trains at %v before extract end %v", rec.Task, rec.TrainStart, rec.ExtractEnd)
+		}
+		perConsumer[rec.Consumer] = append(perConsumer[rec.Consumer], rec)
+	}
+	for consumer, recs := range perConsumer {
+		sort.Slice(recs, func(i, j int) bool { return recs[i].ExtractStart < recs[j].ExtractStart })
+		for i := 1; i < len(recs); i++ {
+			prev, cur := recs[i-1], recs[i]
+			if cur.ExtractStart < prev.ExtractEnd-1e-12 {
+				t.Fatalf("consumer %d extract overlap: task %d [%v,%v] then task %d starts %v",
+					consumer, prev.Task, prev.ExtractStart, prev.ExtractEnd, cur.Task, cur.ExtractStart)
+			}
+			if !pipelined && cur.ExtractStart < prev.TrainEnd-1e-12 {
+				t.Fatalf("consumer %d not serial without pipelining", consumer)
+			}
+		}
+		sort.Slice(recs, func(i, j int) bool { return recs[i].TrainStart < recs[j].TrainStart })
+		for i := 1; i < len(recs); i++ {
+			prev, cur := recs[i-1], recs[i]
+			if cur.TrainStart < prev.TrainEnd-1e-12 {
+				t.Fatalf("consumer %d train overlap: task %d ends %v, task %d starts %v",
+					consumer, prev.Task, prev.TrainEnd, cur.Task, cur.TrainStart)
+			}
+		}
+	}
+}
+
+func TestTimelinePhysicalInvariants(t *testing.T) {
+	if err := quick.Check(func(seed uint16, nRaw, tRaw, pRaw uint8) bool {
+		n := int(nRaw%40) + 2
+		nt := int(tRaw%4) + 1
+		pipelined := pRaw%2 == 0
+		sync := pRaw%4 < 2
+		tasks := make([]Task, n)
+		for i := range tasks {
+			tasks[i] = Task{
+				Sample:  0.1 + float64((int(seed)+i*3)%7)/10,
+				Extract: 0.05 + float64((int(seed)+i*5)%5)/20,
+				Train:   0.2 + float64((int(seed)+i*7)%9)/10,
+			}
+		}
+		producers := int(seed)%3 + 1
+		res := RunEpoch(tasks, producers, ConsumeOptions{
+			NumTrainers: nt,
+			Sync:        sync,
+			Pipelined:   pipelined,
+			Trace:       true,
+		})
+		if len(res.Timeline) != n {
+			return false
+		}
+		checkTimelineInvariants(t, res.Timeline, pipelined)
+		return !t.Failed()
+	}, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimelineWithStandbyInvariants(t *testing.T) {
+	tasks := uniformTasks(30, 0.2, 0.1, 1)
+	for i := range tasks {
+		tasks[i].StandbyExtract = 0.3
+	}
+	res := RunEpoch(tasks, 1, ConsumeOptions{
+		NumTrainers:      1,
+		Pipelined:        true,
+		StandbyAvailable: []Seconds{},
+		TrainerTaskTime:  1.1,
+		StandbyTaskTime:  1.3,
+		Trace:            true,
+	})
+	if res.TasksByStandby == 0 {
+		t.Fatal("standby never joined")
+	}
+	checkTimelineInvariants(t, res.Timeline, true)
+	// Standby records must use the standby extract duration.
+	for _, rec := range res.Timeline {
+		if !rec.Standby {
+			continue
+		}
+		if dur := rec.ExtractEnd - rec.ExtractStart; dur < 0.3-1e-12 {
+			t.Fatalf("standby task %d extract duration %v, want 0.3", rec.Task, dur)
+		}
+	}
+}
+
+func TestTimelineDisabledByDefault(t *testing.T) {
+	tasks := uniformTasks(3, 0, 0.1, 0.1)
+	res := Consume(tasks, ConsumeOptions{NumTrainers: 1, Pipelined: true})
+	if res.Timeline != nil {
+		t.Error("timeline recorded without Trace")
+	}
+}

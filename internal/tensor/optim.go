@@ -1,0 +1,85 @@
+package tensor
+
+import "math"
+
+// Param is a trainable parameter: a value matrix with its gradient
+// accumulator and Adam moments.
+type Param struct {
+	Value *Matrix
+	Grad  *Matrix
+	m, v  []float32
+}
+
+// NewParam allocates a parameter with zeroed gradient and moments.
+func NewParam(rows, cols int) *Param {
+	return &Param{
+		Value: New(rows, cols),
+		Grad:  New(rows, cols),
+		m:     make([]float32, rows*cols),
+		v:     make([]float32, rows*cols),
+	}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Adam is the Adam optimizer over a set of parameters.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+	step    int
+	params  []*Param
+}
+
+// NewAdam returns an Adam optimizer with standard defaults over params.
+func NewAdam(lr float64, params []*Param) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8, params: params}
+}
+
+// Params returns the managed parameters.
+func (a *Adam) Params() []*Param { return a.params }
+
+// Step applies one Adam update from the accumulated gradients and clears
+// them.
+func (a *Adam) Step() {
+	a.step++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	lr := a.LR * math.Sqrt(bc2) / bc1
+	b1, b2 := float32(a.Beta1), float32(a.Beta2)
+	for _, p := range a.params {
+		g := p.Grad.Data
+		val := p.Value.Data
+		for i := range g {
+			a.updateOne(p, i, g[i], val, lr, b1, b2)
+		}
+		p.Grad.Zero()
+	}
+}
+
+func (a *Adam) updateOne(p *Param, i int, gi float32, val []float32, lr float64, b1, b2 float32) {
+	p.m[i] = b1*p.m[i] + (1-b1)*gi
+	p.v[i] = b2*p.v[i] + (1-b2)*gi*gi
+	val[i] -= float32(lr * float64(p.m[i]) / (math.Sqrt(float64(p.v[i])) + a.Epsilon))
+}
+
+// SGD is plain stochastic gradient descent (used by tests as a simple
+// reference optimizer).
+type SGD struct {
+	LR     float64
+	params []*Param
+}
+
+// NewSGD returns an SGD optimizer over params.
+func NewSGD(lr float64, params []*Param) *SGD { return &SGD{LR: lr, params: params} }
+
+// Step applies one SGD update and clears gradients.
+func (s *SGD) Step() {
+	lr := float32(s.LR)
+	for _, p := range s.params {
+		AXPY(-lr, p.Grad.Data, p.Value.Data)
+		p.Grad.Zero()
+	}
+}

@@ -1,0 +1,76 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the approximate flop count above which matrix
+// products fan out across cores. Row-partitioned products are bitwise
+// identical to the serial computation (each output row is an independent
+// serial reduction), so parallelism never affects results.
+const parallelThreshold = 1 << 21
+
+// parallelRows splits [0, n) into contiguous chunks and runs fn on each
+// concurrently. fn must only write rows within its chunk.
+func parallelRows(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matMulRows computes dst rows [lo,hi) of a @ b.
+func matMulRows(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ar := a.Row(i)
+		dr := dst.Row(i)
+		for j := range dr {
+			dr[j] = 0
+		}
+		for k := 0; k < a.Cols; k++ {
+			aik := ar[k]
+			if aik == 0 {
+				continue
+			}
+			br := b.Row(k)
+			for j := range br {
+				dr[j] += aik * br[j]
+			}
+		}
+	}
+}
+
+// matMulABTRows computes dst rows [lo,hi) of a @ bᵀ.
+func matMulABTRows(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ar := a.Row(i)
+		dr := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			br := b.Row(j)
+			var sum float32
+			for k := range ar {
+				sum += ar[k] * br[k]
+			}
+			dr[j] = sum
+		}
+	}
+}

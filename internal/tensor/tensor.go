@@ -1,0 +1,229 @@
+// Package tensor is a minimal float32 dense matrix library: just enough to
+// run real GCN/GraphSAGE/PinSAGE forward and backward passes on CPU for the
+// convergence experiment (§7.7, Fig 16). It is not a general autograd
+// system — internal/nn writes its backward passes by hand against these
+// primitives.
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"gnnlab/internal/rng"
+)
+
+// Matrix is a row-major rows×cols float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromData wraps data (not copied) as a rows×cols matrix.
+func FromData(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d×%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// Row returns row i as a slice aliasing the matrix.
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set stores element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero clears all elements.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Glorot initializes with Glorot/Xavier uniform values.
+func (m *Matrix) Glorot(r *rng.Rand) {
+	limit := float32(math.Sqrt(6 / float64(m.Rows+m.Cols)))
+	for i := range m.Data {
+		m.Data[i] = (2*float32(r.Float64()) - 1) * limit
+	}
+}
+
+// MatMul computes dst = a @ b, overwriting dst. Shapes must agree
+// (a: n×k, b: k×m, dst: n×m); dst must not alias a or b.
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul shapes (%d×%d)@(%d×%d)->(%d×%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	// ikj loop order keeps the inner loop streaming over rows of b; large
+	// products partition output rows across cores (bitwise identical to
+	// the serial result).
+	if a.Rows*a.Cols*b.Cols >= parallelThreshold {
+		parallelRows(a.Rows, func(lo, hi int) { matMulRows(dst, a, b, lo, hi) })
+		return
+	}
+	matMulRows(dst, a, b, 0, a.Rows)
+}
+
+// MatMulATB computes dst = aᵀ @ b (a: k×n, b: k×m, dst: n×m).
+func MatMulATB(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulATB shapes (%d×%d)ᵀ@(%d×%d)->(%d×%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	for k := 0; k < a.Rows; k++ {
+		ar := a.Row(k)
+		br := b.Row(k)
+		for i, aki := range ar {
+			if aki == 0 {
+				continue
+			}
+			dr := dst.Row(i)
+			for j := range br {
+				dr[j] += aki * br[j]
+			}
+		}
+	}
+}
+
+// MatMulABT computes dst = a @ bᵀ (a: n×k, b: m×k, dst: n×m).
+func MatMulABT(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulABT shapes (%d×%d)@(%d×%d)ᵀ->(%d×%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	if a.Rows*a.Cols*b.Rows >= parallelThreshold {
+		parallelRows(a.Rows, func(lo, hi int) { matMulABTRows(dst, a, b, lo, hi) })
+		return
+	}
+	matMulABTRows(dst, a, b, 0, a.Rows)
+}
+
+// AddBiasRows adds bias (1×cols) to every row of m in place.
+func AddBiasRows(m *Matrix, bias []float32) {
+	if len(bias) != m.Cols {
+		panic("tensor: bias length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		r := m.Row(i)
+		for j := range r {
+			r[j] += bias[j]
+		}
+	}
+}
+
+// ReLU applies max(0, x) in place and returns a mask of active elements
+// for the backward pass.
+func ReLU(m *Matrix) []bool {
+	mask := make([]bool, len(m.Data))
+	for i, v := range m.Data {
+		if v > 0 {
+			mask[i] = true
+		} else {
+			m.Data[i] = 0
+		}
+	}
+	return mask
+}
+
+// ReLUBackward zeroes grad entries whose forward activation was clipped.
+func ReLUBackward(grad *Matrix, mask []bool) {
+	if len(mask) != len(grad.Data) {
+		panic("tensor: ReLU mask length mismatch")
+	}
+	for i := range grad.Data {
+		if !mask[i] {
+			grad.Data[i] = 0
+		}
+	}
+}
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// against labels and the gradient w.r.t. logits (written into gradOut,
+// same shape as logits). It returns (loss, correct-count).
+func SoftmaxCrossEntropy(logits *Matrix, labels []int32, gradOut *Matrix) (float64, int) {
+	if len(labels) != logits.Rows || gradOut.Rows != logits.Rows || gradOut.Cols != logits.Cols {
+		panic("tensor: SoftmaxCrossEntropy shape mismatch")
+	}
+	var loss float64
+	correct := 0
+	invN := 1 / float32(logits.Rows)
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Row(i)
+		grad := gradOut.Row(i)
+		maxv := row[0]
+		argmax := 0
+		for j, v := range row {
+			if v > maxv {
+				maxv = v
+				argmax = j
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxv))
+		}
+		logSum := math.Log(sum)
+		y := int(labels[i])
+		loss += logSum - float64(row[y]-maxv)
+		if argmax == y {
+			correct++
+		}
+		for j, v := range row {
+			p := float32(math.Exp(float64(v-maxv)) / sum)
+			if j == y {
+				p -= 1
+			}
+			grad[j] = p * invN
+		}
+	}
+	return loss / float64(logits.Rows), correct
+}
+
+// SumRows accumulates the column-wise sum of m into out (len cols).
+func SumRows(m *Matrix, out []float32) {
+	if len(out) != m.Cols {
+		panic("tensor: SumRows length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		r := m.Row(i)
+		for j := range r {
+			out[j] += r[j]
+		}
+	}
+}
+
+// AXPY computes y += alpha*x elementwise over equal-length slices.
+func AXPY(alpha float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic("tensor: AXPY length mismatch")
+	}
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies every element by alpha.
+func Scale(alpha float32, x []float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}

@@ -1,0 +1,326 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gnnlab/internal/rng"
+)
+
+func randomMatrix(rows, cols int, r *rng.Rand) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(r.NormFloat64())
+	}
+	return m
+}
+
+// naiveMatMul is the O(n^3) reference implementation.
+func naiveMatMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var sum float64
+			for k := 0; k < a.Cols; k++ {
+				sum += float64(a.At(i, k)) * float64(b.At(k, j))
+			}
+			out.Set(i, j, float32(sum))
+		}
+	}
+	return out
+}
+
+func matricesClose(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(float64(a.Data[i]-b.Data[i])) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	r := rng.New(1)
+	if err := quick.Check(func(nRaw, kRaw, mRaw uint8) bool {
+		n, k, m := int(nRaw%12)+1, int(kRaw%12)+1, int(mRaw%12)+1
+		a, b := randomMatrix(n, k, r), randomMatrix(k, m, r)
+		got := New(n, m)
+		MatMul(got, a, b)
+		return matricesClose(got, naiveMatMul(a, b), 1e-4)
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatMulATB(t *testing.T) {
+	r := rng.New(2)
+	a, b := randomMatrix(7, 4, r), randomMatrix(7, 5, r)
+	got := New(4, 5)
+	MatMulATB(got, a, b)
+	at := New(4, 7)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	if !matricesClose(got, naiveMatMul(at, b), 1e-4) {
+		t.Error("MatMulATB != naive(aT @ b)")
+	}
+}
+
+func TestMatMulABT(t *testing.T) {
+	r := rng.New(3)
+	a, b := randomMatrix(6, 4, r), randomMatrix(5, 4, r)
+	got := New(6, 5)
+	MatMulABT(got, a, b)
+	bt := New(4, 5)
+	for i := 0; i < b.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			bt.Set(j, i, b.At(i, j))
+		}
+	}
+	if !matricesClose(got, naiveMatMul(a, bt), 1e-4) {
+		t.Error("MatMulABT != naive(a @ bT)")
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch did not panic")
+		}
+	}()
+	MatMul(New(2, 2), New(2, 3), New(2, 2))
+}
+
+func TestAddBiasRows(t *testing.T) {
+	m := New(2, 3)
+	AddBiasRows(m, []float32{1, 2, 3})
+	if m.At(0, 0) != 1 || m.At(1, 2) != 3 {
+		t.Errorf("bias add wrong: %v", m.Data)
+	}
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	m := FromData(1, 4, []float32{-1, 2, 0, 3})
+	mask := ReLU(m)
+	want := []float32{0, 2, 0, 3}
+	for i, v := range want {
+		if m.Data[i] != v {
+			t.Fatalf("ReLU output %v, want %v", m.Data, want)
+		}
+	}
+	grad := FromData(1, 4, []float32{10, 10, 10, 10})
+	ReLUBackward(grad, mask)
+	wantGrad := []float32{0, 10, 0, 10}
+	for i, v := range wantGrad {
+		if grad.Data[i] != v {
+			t.Fatalf("ReLU grad %v, want %v", grad.Data, wantGrad)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyLossAndAccuracy(t *testing.T) {
+	// Perfectly confident correct prediction: tiny loss, full accuracy.
+	logits := FromData(2, 3, []float32{10, -10, -10, -10, 10, -10})
+	grad := New(2, 3)
+	loss, correct := SoftmaxCrossEntropy(logits, []int32{0, 1}, grad)
+	if loss > 1e-6 {
+		t.Errorf("confident correct loss %v", loss)
+	}
+	if correct != 2 {
+		t.Errorf("correct = %d, want 2", correct)
+	}
+	// Uniform logits: loss = ln(3).
+	logits = New(2, 3)
+	loss, _ = SoftmaxCrossEntropy(logits, []int32{0, 2}, grad)
+	if math.Abs(loss-math.Log(3)) > 1e-6 {
+		t.Errorf("uniform loss %v, want ln 3 = %v", loss, math.Log(3))
+	}
+}
+
+// TestSoftmaxCEGradientNumerical verifies the analytic gradient against
+// central finite differences.
+func TestSoftmaxCEGradientNumerical(t *testing.T) {
+	r := rng.New(4)
+	logits := randomMatrix(3, 4, r)
+	labels := []int32{1, 3, 0}
+	grad := New(3, 4)
+	SoftmaxCrossEntropy(logits, labels, grad)
+	const eps = 1e-3
+	for i := range logits.Data {
+		orig := logits.Data[i]
+		logits.Data[i] = orig + eps
+		lossP, _ := SoftmaxCrossEntropy(logits, labels, New(3, 4))
+		logits.Data[i] = orig - eps
+		lossM, _ := SoftmaxCrossEntropy(logits, labels, New(3, 4))
+		logits.Data[i] = orig
+		numeric := (lossP - lossM) / (2 * eps)
+		if diff := math.Abs(numeric - float64(grad.Data[i])); diff > 1e-3 {
+			t.Fatalf("grad[%d]: analytic %v numeric %v", i, grad.Data[i], numeric)
+		}
+	}
+}
+
+func TestSumRowsAXPYScale(t *testing.T) {
+	m := FromData(2, 2, []float32{1, 2, 3, 4})
+	out := make([]float32, 2)
+	SumRows(m, out)
+	if out[0] != 4 || out[1] != 6 {
+		t.Errorf("SumRows = %v", out)
+	}
+	y := []float32{1, 1}
+	AXPY(2, []float32{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Errorf("AXPY = %v", y)
+	}
+	Scale(0.5, y)
+	if y[0] != 3.5 || y[1] != 4.5 {
+		t.Errorf("Scale = %v", y)
+	}
+}
+
+func TestGlorotRange(t *testing.T) {
+	m := New(50, 50)
+	m.Glorot(rng.New(5))
+	limit := math.Sqrt(6.0 / 100)
+	nonzero := 0
+	for _, v := range m.Data {
+		if math.Abs(float64(v)) > limit+1e-6 {
+			t.Fatalf("Glorot value %v beyond limit %v", v, limit)
+		}
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < len(m.Data)/2 {
+		t.Error("Glorot left most weights zero")
+	}
+}
+
+func TestCloneAndZero(t *testing.T) {
+	m := FromData(1, 2, []float32{1, 2})
+	c := m.Clone()
+	c.Data[0] = 99
+	if m.Data[0] != 1 {
+		t.Error("Clone aliases original")
+	}
+	m.Zero()
+	if m.Data[1] != 0 {
+		t.Error("Zero failed")
+	}
+}
+
+// quadratic loss f(x) = Σ (x_i - t_i)^2 for optimizer tests.
+func quadraticStep(p *Param, target []float32) float64 {
+	var loss float64
+	for i, v := range p.Value.Data {
+		d := v - target[i]
+		loss += float64(d * d)
+		p.Grad.Data[i] += 2 * d
+	}
+	return loss
+}
+
+func TestAdamMinimizesQuadratic(t *testing.T) {
+	p := NewParam(1, 4)
+	copy(p.Value.Data, []float32{5, -3, 2, 8})
+	target := []float32{1, 1, 1, 1}
+	opt := NewAdam(0.1, []*Param{p})
+	first := quadraticStep(p, target)
+	opt.Step()
+	var last float64
+	for i := 0; i < 300; i++ {
+		last = quadraticStep(p, target)
+		opt.Step()
+	}
+	if last > first/100 {
+		t.Errorf("Adam barely converged: %v -> %v", first, last)
+	}
+}
+
+func TestSGDMinimizesQuadratic(t *testing.T) {
+	p := NewParam(1, 2)
+	copy(p.Value.Data, []float32{4, -4})
+	target := []float32{0, 0}
+	opt := NewSGD(0.05, []*Param{p})
+	for i := 0; i < 200; i++ {
+		quadraticStep(p, target)
+		opt.Step()
+	}
+	for i, v := range p.Value.Data {
+		if math.Abs(float64(v)) > 0.01 {
+			t.Errorf("SGD left x[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestStepClearsGradients(t *testing.T) {
+	p := NewParam(1, 2)
+	p.Grad.Data[0] = 3
+	NewAdam(0.01, []*Param{p}).Step()
+	if p.Grad.Data[0] != 0 {
+		t.Error("Adam.Step left gradients")
+	}
+	p.Grad.Data[1] = 2
+	NewSGD(0.01, []*Param{p}).Step()
+	if p.Grad.Data[1] != 0 {
+		t.Error("SGD.Step left gradients")
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	r := rng.New(6)
+	x := randomMatrix(128, 128, r)
+	y := randomMatrix(128, 128, r)
+	out := New(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(out, x, y)
+	}
+}
+
+// TestParallelMatMulMatchesSerial exercises the parallel path (above the
+// flop threshold) against the naive reference.
+func TestParallelMatMulMatchesSerial(t *testing.T) {
+	r := rng.New(7)
+	a, b := randomMatrix(256, 128, r), randomMatrix(128, 128, r)
+	got := New(256, 128)
+	MatMul(got, a, b) // 256*128*128 > threshold: parallel
+	if !matricesClose(got, naiveMatMul(a, b), 2e-3) {
+		t.Error("parallel MatMul != naive")
+	}
+	// ABT parallel path.
+	c := randomMatrix(256, 128, r)
+	d := randomMatrix(200, 128, r)
+	gotABT := New(256, 200)
+	MatMulABT(gotABT, c, d)
+	dt := New(128, 200)
+	for i := 0; i < d.Rows; i++ {
+		for j := 0; j < d.Cols; j++ {
+			dt.Set(j, i, d.At(i, j))
+		}
+	}
+	if !matricesClose(gotABT, naiveMatMul(c, dt), 2e-3) {
+		t.Error("parallel MatMulABT != naive")
+	}
+}
+
+// TestParallelMatMulDeterministic: row partitioning must be bitwise
+// reproducible across runs.
+func TestParallelMatMulDeterministic(t *testing.T) {
+	r := rng.New(8)
+	a, b := randomMatrix(300, 120, r), randomMatrix(120, 90, r)
+	x, y := New(300, 90), New(300, 90)
+	MatMul(x, a, b)
+	MatMul(y, a, b)
+	for i := range x.Data {
+		if x.Data[i] != y.Data[i] {
+			t.Fatalf("parallel MatMul not bitwise deterministic at %d", i)
+		}
+	}
+}

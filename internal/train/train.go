@@ -1,0 +1,438 @@
+// Package train is the live training runtime: real Sampler goroutines
+// feeding real Trainers through the global sample queue, computing real
+// gradients with internal/nn and training to a real accuracy target. It
+// backs the convergence experiment (§7.7, Fig 16) and the runnable
+// examples — everything internal/core *simulates*, this package
+// *executes* (at laptop scale, on the labelled community dataset).
+package train
+
+import (
+	"fmt"
+	"sync"
+
+	"gnnlab/internal/cache"
+	"gnnlab/internal/feature"
+	"gnnlab/internal/gen"
+	"gnnlab/internal/nn"
+	"gnnlab/internal/queue"
+	"gnnlab/internal/rng"
+	"gnnlab/internal/sampling"
+	"gnnlab/internal/tensor"
+	"gnnlab/internal/workload"
+)
+
+// Options configures a training run.
+type Options struct {
+	Model     workload.ModelKind
+	HiddenDim int
+	BatchSize int
+	// NumTrainers is the synchronous data-parallel width: gradients of
+	// NumTrainers consecutive mini-batches are averaged into one update,
+	// exactly modelling k GPUs exchanging gradients (§2). More trainers
+	// mean fewer updates per epoch — the effect Fig 16(b) measures.
+	NumTrainers int
+	// NumSamplers > 0 runs that many concurrent Sampler goroutines
+	// feeding the global queue (the live factored pipeline); 0 samples
+	// inline, which is bit-deterministic.
+	NumSamplers int
+	LR          float64
+	// TargetAccuracy stops training once evaluation accuracy reaches it.
+	TargetAccuracy float64
+	MaxEpochs      int
+	// EvalSize vertices are held out (disjoint from the training set)
+	// for accuracy evaluation.
+	EvalSize int
+	// CacheRatio > 0 enables a real feature cache on the Trainer side,
+	// filled by CachePolicy (default PreSC#1): the live analogue of §6.
+	CacheRatio  float64
+	CachePolicy cache.PolicyKind
+	Seed        uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.HiddenDim == 0 {
+		o.HiddenDim = 64
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 128
+	}
+	if o.NumTrainers == 0 {
+		o.NumTrainers = 1
+	}
+	if o.LR == 0 {
+		o.LR = 0.01
+	}
+	if o.MaxEpochs == 0 {
+		o.MaxEpochs = 60
+	}
+	if o.EvalSize == 0 {
+		o.EvalSize = 1000
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.TargetAccuracy == 0 {
+		o.TargetAccuracy = 0.9
+	}
+	return o
+}
+
+// EpochRecord is one epoch's outcome.
+type EpochRecord struct {
+	Epoch   int
+	Loss    float64
+	EvalAcc float64
+	// Updates is the cumulative number of gradient updates so far.
+	Updates int
+}
+
+// Result is a completed training run.
+type Result struct {
+	History   []EpochRecord
+	Converged bool
+	// EpochsToTarget / UpdatesToTarget are the costs of reaching the
+	// accuracy target (0 when not converged).
+	EpochsToTarget  int
+	UpdatesToTarget int
+	FinalAccuracy   float64
+	// CacheHitRate is the real feature-cache hit rate over the training
+	// gathers (0 when no cache was enabled).
+	CacheHitRate float64
+	// Model is the trained model (checkpoint with Model.SaveCheckpoint,
+	// or keep predicting with Model.Predict).
+	Model *nn.Model
+}
+
+// Train runs sample-based GNN training on a labelled dataset until the
+// accuracy target or MaxEpochs.
+func Train(d *gen.Dataset, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if d.Labels == nil || d.Features == nil {
+		return nil, fmt.Errorf("train: dataset %s has no labels/features (use a KindCommunity preset)", d.Name)
+	}
+	spec := workload.Spec{Kind: opts.Model, HiddenDim: opts.HiddenDim, BatchSize: opts.BatchSize}
+	alg := spec.NewSampler()
+	model := nn.NewModel(opts.Model, spec.NumLayers(), d.FeatureDim, opts.HiddenDim, d.NumClasses, opts.Seed)
+	opt := tensor.NewAdam(opts.LR, model.Params())
+
+	store, err := buildStore(d, alg, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Data-parallel replicas: with k > 1 Trainers, each round trains k
+	// mini-batches concurrently on k model replicas, then exchanges
+	// (averages) gradients into the master — real synchronous data
+	// parallelism, executed on k goroutines.
+	var replicas []*nn.Model
+	for i := 1; i < opts.NumTrainers; i++ {
+		rep := nn.NewModel(opts.Model, spec.NumLayers(), d.FeatureDim, opts.HiddenDim, d.NumClasses, opts.Seed)
+		if err := nn.CopyParams(rep.Params(), model.Params()); err != nil {
+			return nil, err
+		}
+		replicas = append(replicas, rep)
+	}
+
+	evalSet := holdout(d, opts.EvalSize, opts.Seed)
+	r := rng.New(opts.Seed)
+
+	res := &Result{Model: model}
+	updates := 0
+	for epoch := 0; epoch < opts.MaxEpochs; epoch++ {
+		er := r.Split(uint64(epoch))
+		batches := sampling.Batches(d.TrainSet, opts.BatchSize, er)
+		stream := produceSamples(d, alg, batches, opts, epoch)
+
+		epochLoss, stepCount, err := runEpochSteps(model, replicas, opt, store, d, stream, len(batches), opts)
+		if err != nil {
+			return nil, err
+		}
+		updates += stepCount
+
+		acc, err := evaluate(model, d, store, alg, evalSet, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.History = append(res.History, EpochRecord{
+			Epoch:   epoch,
+			Loss:    epochLoss / float64(len(batches)),
+			EvalAcc: acc,
+			Updates: updates,
+		})
+		res.FinalAccuracy = acc
+		res.CacheHitRate = store.HitRate()
+		if acc >= opts.TargetAccuracy {
+			res.Converged = true
+			res.EpochsToTarget = epoch + 1
+			res.UpdatesToTarget = updates
+			break
+		}
+	}
+	return res, nil
+}
+
+// runEpochSteps drives one epoch of synchronous data-parallel training:
+// rounds of up to NumTrainers mini-batches run concurrently (one per model
+// replica; the master model doubles as replica 0), gradients are averaged
+// into the master, the optimizer steps, and updated parameters fan back
+// out to the replicas — the live analogue of the gradient exchange in §2.
+// It returns the summed loss and the number of gradient updates.
+func runEpochSteps(model *nn.Model, replicas []*nn.Model, opt *tensor.Adam, store *feature.Store, d *gen.Dataset, stream *sampleStream, numBatches int, opts Options) (float64, int, error) {
+	workers := append([]*nn.Model{model}, replicas...)
+	var epochLoss float64
+	updates := 0
+	for start := 0; start < numBatches; start += len(workers) {
+		end := start + len(workers)
+		if end > numBatches {
+			end = numBatches
+		}
+		round, err := stream.take(end - start)
+		if err != nil {
+			return 0, 0, err
+		}
+		losses := make([]float64, len(round))
+		errs := make([]error, len(round))
+		var wg sync.WaitGroup
+		for i, s := range round {
+			wg.Add(1)
+			go func(i int, s *sampling.Sample, m *nn.Model) {
+				defer wg.Done()
+				g, err := nn.NewCompact(s)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				feats, _, _ := store.Gather(s)
+				labels := nn.SeedLabels(s, d.Labels)
+				losses[i], _, errs[i] = m.LossAndGrad(g, feats, labels)
+			}(i, s, workers[i])
+		}
+		wg.Wait()
+		for i := range round {
+			if errs[i] != nil {
+				return 0, 0, errs[i]
+			}
+			epochLoss += losses[i]
+		}
+		// Gradient exchange: replicas' gradients accumulate into the
+		// master in fixed order, then the averaged update applies.
+		for i := 1; i < len(round); i++ {
+			if err := nn.AccumulateGrads(model.Params(), workers[i].Params()); err != nil {
+				return 0, 0, err
+			}
+		}
+		averageGrads(opt.Params(), len(round))
+		opt.Step()
+		updates++
+		for _, rep := range replicas {
+			if err := nn.CopyParams(rep.Params(), model.Params()); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	return epochLoss, updates, nil
+}
+
+// buildStore assembles the two-tier feature store, running the configured
+// caching policy for real when a cache ratio is requested.
+func buildStore(d *gen.Dataset, alg sampling.Algorithm, opts Options) (*feature.Store, error) {
+	store, err := feature.NewStore(d.Features, d.FeatureDim)
+	if err != nil {
+		return nil, err
+	}
+	if opts.CacheRatio <= 0 {
+		return store, nil
+	}
+	var ranking []int32
+	switch opts.CachePolicy {
+	case cache.PolicyDegree:
+		ranking = cache.DegreeHotness(d.Graph).Rank()
+	case cache.PolicyRandom:
+		ranking = cache.RandomHotness(d.NumVertices(), rng.New(opts.Seed^0x5EED)).Rank()
+	default: // PreSC#1 (also PolicyPreSC explicitly)
+		res := cache.PreSC(d.Graph, alg, d.TrainSet, opts.BatchSize, 1, opts.Seed^0x12345)
+		ranking = res.Hotness.Rank()
+	}
+	slots := int(opts.CacheRatio * float64(d.NumVertices()))
+	table, err := cache.Load(ranking, slots, d.NumVertices(), int64(d.FeatureDim)*4)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.EnableCache(table); err != nil {
+		return nil, err
+	}
+	return store, nil
+}
+
+// sampleStream delivers an epoch's samples in batch order, either from an
+// inline (bit-deterministic) pre-sampled slice or streamed live from
+// concurrent Sampler goroutines through the global queue. Streaming
+// overlaps the Sample stage with Extract+Train — the factored pipeline —
+// while a reorder buffer keeps delivery order (and therefore training
+// results) independent of goroutine scheduling.
+type sampleStream struct {
+	inline []*sampling.Sample // non-nil for inline mode
+	next   int
+
+	done    *queue.Queue[indexedSample]
+	pending map[int]*sampling.Sample
+}
+
+type indexedSample struct {
+	idx int
+	s   *sampling.Sample
+	err error
+}
+
+// take returns the next k samples in batch order.
+func (st *sampleStream) take(k int) ([]*sampling.Sample, error) {
+	out := make([]*sampling.Sample, 0, k)
+	for len(out) < k {
+		if st.inline != nil {
+			if st.next >= len(st.inline) {
+				return nil, fmt.Errorf("train: sample stream exhausted at %d", st.next)
+			}
+			out = append(out, st.inline[st.next])
+			st.next++
+			continue
+		}
+		if s, ok := st.pending[st.next]; ok {
+			delete(st.pending, st.next)
+			out = append(out, s)
+			st.next++
+			continue
+		}
+		item, ok := st.done.Dequeue()
+		if !ok {
+			return nil, fmt.Errorf("train: sample queue closed before batch %d", st.next)
+		}
+		if item.err != nil {
+			return nil, item.err
+		}
+		st.pending[item.idx] = item.s
+	}
+	return out, nil
+}
+
+// produceSamples runs the Sample stage for an epoch, either inline or
+// through the live factored pipeline (Sampler goroutines + global queue).
+// The per-batch RNG streams are keyed by (epoch, batch) so the sampled
+// neighborhoods do not depend on goroutine scheduling; the stream's
+// reorder buffer keeps delivery order deterministic too.
+func produceSamples(d *gen.Dataset, alg sampling.Algorithm, batches [][]int32, opts Options, epoch int) *sampleStream {
+	if opts.NumSamplers <= 0 {
+		out := make([]*sampling.Sample, len(batches))
+		a := sampling.CloneAlgorithm(alg)
+		for i, b := range batches {
+			out[i] = a.Sample(d.Graph, b, rng.New(opts.Seed^uint64(epoch)<<20^uint64(i)))
+		}
+		return &sampleStream{inline: out}
+	}
+
+	type task struct {
+		idx   int
+		seeds []int32
+	}
+	work := queue.New[task](len(batches))
+	// The global queue between Samplers and Trainers (§5.2); bounded so
+	// producers feel backpressure like the real host-memory queue.
+	done := queue.New[indexedSample](max(4, 2*opts.NumSamplers))
+	for i, b := range batches {
+		work.Enqueue(task{idx: i, seeds: b})
+	}
+	work.Close()
+	for w := 0; w < opts.NumSamplers; w++ {
+		go func() {
+			a := sampling.CloneAlgorithm(alg)
+			for {
+				t, ok := work.Dequeue()
+				if !ok {
+					return
+				}
+				item := sampleOne(d, a, t.seeds, t.idx, opts, epoch)
+				done.Enqueue(item)
+			}
+		}()
+	}
+	return &sampleStream{done: done, pending: map[int]*sampling.Sample{}}
+}
+
+// sampleOne runs one mini-batch's Sample stage, converting a panicking
+// sampling algorithm (e.g. a buggy user-defined one, §5.1) into an error
+// on the stream instead of a deadlocked pipeline.
+func sampleOne(d *gen.Dataset, a sampling.Algorithm, seedsBatch []int32, idx int, opts Options, epoch int) (item indexedSample) {
+	item.idx = idx
+	defer func() {
+		if r := recover(); r != nil {
+			item.s = nil
+			item.err = fmt.Errorf("train: sampler panicked on batch %d: %v", idx, r)
+		}
+	}()
+	item.s = a.Sample(d.Graph, seedsBatch, rng.New(opts.Seed^uint64(epoch)<<20^uint64(idx)))
+	return item
+}
+
+// averageGrads scales accumulated gradients by 1/k — turning k accumulated
+// mini-batch gradients into their synchronous data-parallel average.
+func averageGrads(params []*tensor.Param, k int) {
+	if k <= 1 {
+		return
+	}
+	inv := 1 / float32(k)
+	for _, p := range params {
+		tensor.Scale(inv, p.Grad.Data)
+	}
+}
+
+// holdout picks EvalSize vertices outside the training set.
+func holdout(d *gen.Dataset, size int, seed uint64) []int32 {
+	inTrain := make(map[int32]bool, len(d.TrainSet))
+	for _, v := range d.TrainSet {
+		inTrain[v] = true
+	}
+	r := rng.New(seed ^ 0xE7A1)
+	out := make([]int32, 0, size)
+	seen := make(map[int32]bool, size)
+	n := d.NumVertices()
+	for len(out) < size && len(seen) < n {
+		v := int32(r.Intn(n))
+		if inTrain[v] || seen[v] {
+			seen[v] = true
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out
+}
+
+// evaluate samples the eval set once (fixed seed, so the eval graph view is
+// stable across epochs) and returns accuracy.
+func evaluate(model *nn.Model, d *gen.Dataset, store *feature.Store, alg sampling.Algorithm, evalSet []int32, opts Options) (float64, error) {
+	if len(evalSet) == 0 {
+		return 0, nil
+	}
+	a := sampling.CloneAlgorithm(alg)
+	correct, total := 0, 0
+	er := rng.New(opts.Seed ^ 0xEA11)
+	for start := 0; start < len(evalSet); start += opts.BatchSize {
+		end := start + opts.BatchSize
+		if end > len(evalSet) {
+			end = len(evalSet)
+		}
+		s := a.Sample(d.Graph, evalSet[start:end], er)
+		g, err := nn.NewCompact(s)
+		if err != nil {
+			return 0, err
+		}
+		feats, _, _ := store.Gather(s)
+		labels := nn.SeedLabels(s, d.Labels)
+		c, err := model.Predict(g, feats, labels)
+		if err != nil {
+			return 0, err
+		}
+		correct += c
+		total += len(labels)
+	}
+	return float64(correct) / float64(total), nil
+}

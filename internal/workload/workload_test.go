@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"testing"
+
+	"gnnlab/internal/sampling"
+)
+
+func TestSpecLayersAndSamplers(t *testing.T) {
+	cases := []struct {
+		kind     ModelKind
+		weighted bool
+		layers   int
+		name     string
+	}{
+		{GCN, false, 3, "GCN"},
+		{GCN, true, 3, "GCN(W)"},
+		{GraphSAGE, false, 2, "GSG"},
+		{PinSAGE, false, 3, "PSG"},
+	}
+	for _, c := range cases {
+		s := NewSpec(c.kind)
+		s.Weighted = c.weighted
+		if got := s.NumLayers(); got != c.layers {
+			t.Errorf("%s: NumLayers = %d, want %d", c.name, got, c.layers)
+		}
+		if got := s.Name(); got != c.name {
+			t.Errorf("Name = %q, want %q", got, c.name)
+		}
+		alg := s.NewSampler()
+		if alg.NumHops() != c.layers {
+			t.Errorf("%s: sampler hops %d != layers %d", c.name, alg.NumHops(), c.layers)
+		}
+	}
+	if _, ok := NewSpec(GCN).NewSampler().(*sampling.KHop); !ok {
+		t.Error("GCN sampler is not k-hop")
+	}
+	w := NewSpec(GCN)
+	w.Weighted = true
+	if _, ok := w.NewSampler().(*sampling.WeightedKHop); !ok {
+		t.Error("weighted GCN sampler is not weighted k-hop")
+	}
+	if _, ok := NewSpec(PinSAGE).NewSampler().(*sampling.RandomWalk); !ok {
+		t.Error("PinSAGE sampler is not random walk")
+	}
+}
+
+func TestTrainFLOPsMonotone(t *testing.T) {
+	spec := NewSpec(GCN)
+	small := &sampling.Sample{
+		Layers: []sampling.Layer{
+			{Src: make([]int32, 10), Dst: make([]int32, 10), NumDst: 2, NumVertices: 12},
+			{Src: make([]int32, 30), Dst: make([]int32, 30), NumDst: 10, NumVertices: 40},
+			{Src: make([]int32, 90), Dst: make([]int32, 90), NumDst: 30, NumVertices: 130},
+		},
+	}
+	big := &sampling.Sample{
+		Layers: []sampling.Layer{
+			{Src: make([]int32, 20), Dst: make([]int32, 20), NumDst: 4, NumVertices: 24},
+			{Src: make([]int32, 60), Dst: make([]int32, 60), NumDst: 20, NumVertices: 80},
+			{Src: make([]int32, 180), Dst: make([]int32, 180), NumDst: 60, NumVertices: 260},
+		},
+	}
+	fs, fb := spec.TrainFLOPs(small, 64), spec.TrainFLOPs(big, 64)
+	if fs <= 0 || fb <= fs {
+		t.Errorf("FLOPs not monotone: %v vs %v", fs, fb)
+	}
+	// Wider features cost more.
+	if spec.TrainFLOPs(small, 128) <= fs {
+		t.Error("FLOPs not monotone in feature dim")
+	}
+	// PinSAGE pays the importance-pooling premium.
+	psg := NewSpec(PinSAGE)
+	if psg.TrainFLOPs(small, 64) <= fs {
+		t.Error("PinSAGE FLOPs not above GCN")
+	}
+}
+
+func TestWorkspaceShapes(t *testing.T) {
+	gcn, gsg, psg := NewSpec(GCN), NewSpec(GraphSAGE), NewSpec(PinSAGE)
+	// GraphSAGE (2 layers) is the lightest; these orderings are what
+	// produce the paper's OOM pattern on UK.
+	if !(gsg.TrainWorkspaceBytes() < psg.TrainWorkspaceBytes()) {
+		t.Error("GraphSAGE train workspace should be smallest")
+	}
+	if !(gsg.TrainWorkspaceBytes() < gcn.TrainWorkspaceBytes()) {
+		t.Error("GraphSAGE train workspace should undercut GCN")
+	}
+	for _, s := range []Spec{gcn, gsg, psg} {
+		if s.SampleWorkspaceBytes() <= 0 || s.TrainWorkspaceBytes() <= 0 {
+			t.Errorf("%s: non-positive workspace", s.Name())
+		}
+	}
+}
+
+func TestKindsAndDefaults(t *testing.T) {
+	if got := Kinds(); len(got) != 3 || got[0] != GCN || got[2] != PinSAGE {
+		t.Errorf("Kinds = %v", got)
+	}
+	s := NewSpec(GraphSAGE)
+	if s.BatchSize != DefaultBatchSize || s.HiddenDim != DefaultHiddenDim {
+		t.Errorf("defaults not applied: %+v", s)
+	}
+}

@@ -1,0 +1,21 @@
+package gnnlab
+
+import "gnnlab/internal/sched"
+
+// Allocation is a split of the machine's GPUs between Samplers and
+// Trainers.
+type Allocation = sched.Allocation
+
+// Allocate applies the paper's flexible-scheduling formula (§5.3):
+// N_s = ⌈N_g/(K+1)⌉ with K = T_t/T_s, where T_s and T_t are per-mini-batch
+// Sampler and Trainer times measured on a probe epoch.
+func Allocate(numGPUs int, sampleTime, trainTime float64) Allocation {
+	return sched.Allocate(numGPUs, sampleTime, trainTime)
+}
+
+// SwitchProfit computes the dynamic-switching profit metric
+// 𝓟 = M_r·T_t/N_t − T_t′ (§5.3); a standby Trainer wakes when it is
+// positive.
+func SwitchProfit(remaining int, trainTime float64, numTrainers int, standbyTrainTime float64) float64 {
+	return sched.SwitchProfit(remaining, trainTime, numTrainers, standbyTrainTime)
+}
