@@ -1,0 +1,90 @@
+package gnnlab
+
+// BenchmarkMeasureParallel times the measurement engine end to end —
+// core.Run's sampling+extract fan-out plus the PreSC pre-sampling replay —
+// serial (MeasureWorkers=1) against the pooled default (0 = NumCPU), and
+// records the observed speedup in BENCH_measure.json. Reports are
+// bit-identical between the two (see internal/core/determinism_test.go);
+// only wall-clock changes. On a single-core machine the speedup is ~1x by
+// construction; the recorded "cores" field says what the number means.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"gnnlab/internal/core"
+	"gnnlab/internal/device"
+	"gnnlab/internal/gen"
+	"gnnlab/internal/workload"
+)
+
+const measureBenchScale = 8 // the Quick() experiment scale
+
+func measureBenchSetup(b *testing.B) (*gen.Dataset, core.Config) {
+	b.Helper()
+	d, err := gen.LoadPresetScaled(gen.PresetPA, measureBenchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := workload.NewSpec(workload.GCN)
+	w.BatchSize = workload.DefaultBatchSize / measureBenchScale
+	cfg := core.GNNLab(w, 8)
+	cfg.GPUMemory = device.DefaultGPUMemory / measureBenchScale
+	cfg.MemScale = measureBenchScale
+	cfg.Epochs = 2
+	return d, cfg
+}
+
+func runMeasure(b *testing.B, d *gen.Dataset, cfg core.Config, workers int) float64 {
+	b.Helper()
+	cfg.MeasureWorkers = workers
+	start := time.Now()
+	rep, err := core.Run(d, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.OOM {
+		b.Fatalf("unexpected OOM: %s", rep.OOMReason)
+	}
+	return time.Since(start).Seconds()
+}
+
+func BenchmarkMeasureParallel(b *testing.B) {
+	d, cfg := measureBenchSetup(b)
+	runMeasure(b, d, cfg, 1) // warm the dataset and sampler tables
+
+	var serial, parallel float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serial += runMeasure(b, d, cfg, 1)
+		parallel += runMeasure(b, d, cfg, 0)
+	}
+	b.StopTimer()
+	serial /= float64(b.N)
+	parallel /= float64(b.N)
+
+	speedup := serial / parallel
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(serial, "serial-s")
+	b.ReportMetric(parallel, "parallel-s")
+
+	out, err := json.MarshalIndent(map[string]any{
+		"benchmark":  "BenchmarkMeasureParallel",
+		"dataset":    gen.PresetPA,
+		"scale":      measureBenchScale,
+		"cores":      runtime.NumCPU(),
+		"workers":    runtime.GOMAXPROCS(0),
+		"serial_s":   serial,
+		"parallel_s": parallel,
+		"speedup":    speedup,
+	}, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_measure.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -18,7 +18,8 @@ import (
 )
 
 // benchOptions picks the experiment scale: -short gives the quick profile;
-// GNNLAB_BENCH_SCALE overrides.
+// GNNLAB_BENCH_SCALE overrides. GNNLAB_BENCH_WORKERS pins the measurement
+// worker pool (0 = NumCPU, 1 = serial; tables are identical either way).
 func benchOptions(b *testing.B) experiments.Options {
 	b.Helper()
 	opts := experiments.Options{Scale: 1, Epochs: 3}
@@ -31,6 +32,13 @@ func benchOptions(b *testing.B) experiments.Options {
 			b.Fatalf("bad GNNLAB_BENCH_SCALE %q", env)
 		}
 		opts.Scale = scale
+	}
+	if env := os.Getenv("GNNLAB_BENCH_WORKERS"); env != "" {
+		workers, err := strconv.Atoi(env)
+		if err != nil || workers < 0 {
+			b.Fatalf("bad GNNLAB_BENCH_WORKERS %q", env)
+		}
+		opts.Workers = workers
 	}
 	return opts
 }

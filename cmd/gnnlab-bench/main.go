@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	gnnlab-bench [-scale N] [-gpus N] [-epochs N] [-format table|csv]
-//	             [-list] [experiment ...]
+//	gnnlab-bench [-scale N] [-gpus N] [-epochs N] [-workers N]
+//	             [-format table|csv] [-list] [experiment ...]
 //
 // With no experiment arguments, every registered experiment (the paper's
 // tables and figures plus the ablations) runs in paper order. At -scale 1
@@ -26,6 +26,7 @@ func main() {
 	gpus := flag.Int("gpus", 8, "number of simulated GPUs")
 	epochs := flag.Int("epochs", 3, "measured epochs per configuration")
 	seed := flag.Uint64("seed", 0, "experiment seed (0 = default)")
+	workers := flag.Int("workers", 0, "measurement worker pool size (0 = NumCPU, 1 = serial; results are identical at any setting)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	format := flag.String("format", "table", "output format: table or csv")
 	flag.Parse()
@@ -41,7 +42,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Scale: *scale, NumGPUs: *gpus, Epochs: *epochs, Seed: *seed}
+	opts := experiments.Options{Scale: *scale, NumGPUs: *gpus, Epochs: *epochs, Seed: *seed, Workers: *workers}
 	ids := flag.Args()
 	if len(ids) == 0 {
 		ids = experiments.IDs()

@@ -4,7 +4,6 @@ import (
 	"sort"
 
 	"gnnlab/internal/graph"
-	"gnnlab/internal/rng"
 	"gnnlab/internal/sampling"
 )
 
@@ -27,23 +26,51 @@ type Footprint struct {
 }
 
 // CollectFootprint runs `epochs` epochs of the Sample stage and records
-// the footprint. Deterministic in (g, alg, trainSet, batchSize, seed).
+// the footprint. Deterministic in (g, alg, trainSet, batchSize, seed) —
+// the replay uses the (epoch, batch) RNG-split convention shared with
+// internal/core.Run, so with the same seed it reproduces a measured run's
+// footprint exactly (the Optimal oracle's contract, §3 footnote 4). Runs
+// on the parallel measurement engine with GOMAXPROCS workers; use
+// CollectFootprintN to pin the worker count.
 func CollectFootprint(g *graph.CSR, alg sampling.Algorithm, trainSet []int32, batchSize, epochs int, seed uint64) *Footprint {
+	return CollectFootprintN(g, alg, trainSet, batchSize, epochs, seed, 0)
+}
+
+// CollectFootprintN is CollectFootprint with an explicit worker-pool size
+// (0 = GOMAXPROCS, 1 = serial). Per-worker footprints are merged at the
+// end; all absorbed quantities are commutative sums, so the result is
+// bit-identical at any worker count.
+func CollectFootprintN(g *graph.CSR, alg sampling.Algorithm, trainSet []int32, batchSize, epochs int, seed uint64, workers int) *Footprint {
+	n := g.NumVertices()
+	accs := replaySampling(g, alg, trainSet, batchSize, epochs, seed, workers,
+		func() *Footprint {
+			return &Footprint{Extractions: make([]int64, n), Visits: make([]int64, n)}
+		},
+		func(fp *Footprint, _ int, s *sampling.Sample) { fp.Absorb(s) })
 	fp := &Footprint{
-		Extractions: make([]int64, g.NumVertices()),
-		Visits:      make([]int64, g.NumVertices()),
+		Extractions: make([]int64, n),
+		Visits:      make([]int64, n),
 		Epochs:      epochs,
 	}
-	r := rng.New(seed)
-	algo := sampling.CloneAlgorithm(alg)
-	for epoch := 0; epoch < epochs; epoch++ {
-		er := r.Split(uint64(epoch))
-		for _, batch := range sampling.Batches(trainSet, batchSize, er) {
-			s := algo.Sample(g, batch, er)
-			fp.Absorb(s)
-		}
+	for _, acc := range accs {
+		fp.Merge(acc)
 	}
 	return fp
+}
+
+// Merge adds another footprint's counts into fp (Epochs is not touched:
+// merging partial footprints of the same run does not change the epoch
+// count they jointly cover).
+func (fp *Footprint) Merge(other *Footprint) {
+	fp.SampledEdges += other.SampledEdges
+	fp.ScannedEdges += other.ScannedEdges
+	fp.TotalExtractions += other.TotalExtractions
+	for v, c := range other.Extractions {
+		fp.Extractions[v] += c
+	}
+	for v, c := range other.Visits {
+		fp.Visits[v] += c
+	}
 }
 
 // Absorb adds one sample's footprint.
@@ -101,16 +128,25 @@ type EpochFootprint struct {
 }
 
 // CollectEpochFootprints runs `epochs` epochs and returns each epoch's
-// visit counts separately.
+// visit counts separately. It uses the same (epoch, batch) RNG keying and
+// worker pool as CollectFootprint, with per-worker per-epoch accumulators
+// merged at the end.
 func CollectEpochFootprints(g *graph.CSR, alg sampling.Algorithm, trainSet []int32, batchSize, epochs int, seed uint64) []EpochFootprint {
-	out := make([]EpochFootprint, epochs)
-	r := rng.New(seed)
-	algo := sampling.CloneAlgorithm(alg)
-	for epoch := 0; epoch < epochs; epoch++ {
-		visits := make([]int64, g.NumVertices())
-		er := r.Split(uint64(epoch))
-		for _, batch := range sampling.Batches(trainSet, batchSize, er) {
-			s := algo.Sample(g, batch, er)
+	return CollectEpochFootprintsN(g, alg, trainSet, batchSize, epochs, seed, 0)
+}
+
+// CollectEpochFootprintsN is CollectEpochFootprints with an explicit
+// worker-pool size (0 = GOMAXPROCS, 1 = serial).
+func CollectEpochFootprintsN(g *graph.CSR, alg sampling.Algorithm, trainSet []int32, batchSize, epochs int, seed uint64, workers int) []EpochFootprint {
+	n := g.NumVertices()
+	accs := replaySampling(g, alg, trainSet, batchSize, epochs, seed, workers,
+		func() [][]int64 { return make([][]int64, epochs) },
+		func(acc [][]int64, epoch int, s *sampling.Sample) {
+			visits := acc[epoch]
+			if visits == nil {
+				visits = make([]int64, n)
+				acc[epoch] = visits
+			}
 			for _, v := range s.Seeds {
 				visits[v]++
 			}
@@ -119,8 +155,17 @@ func CollectEpochFootprints(g *graph.CSR, alg sampling.Algorithm, trainSet []int
 					visits[s.Input[src]]++
 				}
 			}
+		})
+	out := make([]EpochFootprint, epochs)
+	for e := range out {
+		out[e] = EpochFootprint{Visits: make([]int64, n)}
+	}
+	for _, acc := range accs {
+		for e, visits := range acc {
+			for v, c := range visits {
+				out[e].Visits[v] += c
+			}
 		}
-		out[epoch] = EpochFootprint{Visits: visits}
 	}
 	return out
 }

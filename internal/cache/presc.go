@@ -2,7 +2,6 @@ package cache
 
 import (
 	"gnnlab/internal/graph"
-	"gnnlab/internal/rng"
 	"gnnlab/internal/sampling"
 )
 
@@ -24,32 +23,53 @@ type PreSCResult struct {
 // algorithm, graph and training set — and returns the average visit count
 // as the hotness metric h_v (§6.3, PreSC#K). The pre-sampling epochs use
 // the same shuffled mini-batch structure as training so the footprint is
-// representative.
+// representative. Pre-sampling runs on the parallel measurement engine
+// with GOMAXPROCS workers; use PreSCN to pin the worker count.
 func PreSC(g *graph.CSR, alg sampling.Algorithm, trainSet []int32, batchSize, k int, seed uint64) PreSCResult {
+	return PreSCN(g, alg, trainSet, batchSize, k, seed, 0)
+}
+
+// prescAcc is one worker's private visit-count accumulator.
+type prescAcc struct {
+	counts       []int64
+	sampledEdges int64
+	scannedEdges int64
+}
+
+// PreSCN is PreSC with an explicit worker-pool size (0 = GOMAXPROCS,
+// 1 = serial). The per-worker visit-count arrays are merged at the end;
+// since visit counts are commutative integer sums and each (epoch, batch)
+// cell has its own RNG stream, the result is bit-identical at any worker
+// count.
+func PreSCN(g *graph.CSR, alg sampling.Algorithm, trainSet []int32, batchSize, k int, seed uint64, workers int) PreSCResult {
 	if k <= 0 {
 		panic("cache: PreSC with non-positive K")
 	}
-	counts := make([]int64, g.NumVertices())
-	res := PreSCResult{Epochs: k}
-	r := rng.New(seed ^ 0x9E3779B97F4A7C15)
-	algo := sampling.CloneAlgorithm(alg)
-	for epoch := 0; epoch < k; epoch++ {
-		er := r.Split(uint64(epoch))
-		for _, batch := range sampling.Batches(trainSet, batchSize, er) {
-			s := algo.Sample(g, batch, er)
-			res.SampledEdges += s.SampledEdges
-			res.ScannedEdges += s.ScannedEdges
+	n := g.NumVertices()
+	accs := replaySampling(g, alg, trainSet, batchSize, k, seed^0x9E3779B97F4A7C15, workers,
+		func() *prescAcc { return &prescAcc{counts: make([]int64, n)} },
+		func(acc *prescAcc, _ int, s *sampling.Sample) {
+			acc.sampledEdges += s.SampledEdges
+			acc.scannedEdges += s.ScannedEdges
 			// Count every sampled occurrence (seeds plus each drawn
 			// neighbor), not just unique-per-batch: revisit frequency
 			// within a batch is hotness signal too.
 			for _, v := range s.Seeds {
-				counts[v]++
+				acc.counts[v]++
 			}
 			for _, l := range s.Layers {
 				for _, src := range l.Src {
-					counts[s.Input[src]]++
+					acc.counts[s.Input[src]]++
 				}
 			}
+		})
+	res := PreSCResult{Epochs: k}
+	counts := make([]int64, n)
+	for _, acc := range accs {
+		res.SampledEdges += acc.sampledEdges
+		res.ScannedEdges += acc.scannedEdges
+		for v, c := range acc.counts {
+			counts[v] += c
 		}
 	}
 	res.VisitCounts = counts

@@ -1,0 +1,66 @@
+package cache
+
+import (
+	"gnnlab/internal/graph"
+	"gnnlab/internal/par"
+	"gnnlab/internal/rng"
+	"gnnlab/internal/sampling"
+)
+
+// replayCell is one (epoch, batch) unit of a sampling replay. Its RNG is
+// derived on the coordinating goroutine — epoch-keyed Split, then
+// batch-keyed SplitN — so the sampled stream is a pure function of
+// (seed, epoch, batch), independent of worker count and scheduling.
+type replayCell struct {
+	epoch int
+	seeds []int32
+	r     *rng.Rand
+}
+
+// planReplay derives every epoch's shuffled mini-batches and per-batch RNG
+// streams from seed, serially. This is the (epoch, batch) determinism
+// convention shared with internal/core.Run and internal/train.
+func planReplay(trainSet []int32, batchSize, epochs int, seed uint64) []replayCell {
+	r := rng.New(seed)
+	var cells []replayCell
+	for epoch := 0; epoch < epochs; epoch++ {
+		er := r.Split(uint64(epoch))
+		batches := sampling.Batches(trainSet, batchSize, er)
+		rands := er.SplitN(len(batches))
+		for b, batch := range batches {
+			cells = append(cells, replayCell{epoch: epoch, seeds: batch, r: rands[b]})
+		}
+	}
+	return cells
+}
+
+// replaySampling replays `epochs` epochs of the Sample stage across a
+// worker pool. Each worker gets its own clone of alg and its own
+// accumulator from newAcc; absorb is called on the sampling worker with
+// that worker's accumulator. The returned accumulators (one per worker,
+// some possibly untouched) must be merged by the caller in index order;
+// when every absorbed quantity is commutative (counts, sums), the merged
+// result is bit-identical at any worker count.
+func replaySampling[T any](
+	g *graph.CSR, alg sampling.Algorithm, trainSet []int32,
+	batchSize, epochs int, seed uint64, workers int,
+	newAcc func() T, absorb func(acc T, epoch int, s *sampling.Sample),
+) []T {
+	cells := planReplay(trainSet, batchSize, epochs, seed)
+	sampling.Prepare(alg, g)
+	w := par.Workers(workers)
+	if w > len(cells) && len(cells) > 0 {
+		w = len(cells)
+	}
+	accs := make([]T, w)
+	algs := make([]sampling.Algorithm, w)
+	for i := range accs {
+		accs[i] = newAcc()
+		algs[i] = sampling.CloneAlgorithm(alg)
+	}
+	par.ForEach(workers, len(cells), func(worker, i int) {
+		c := cells[i]
+		absorb(accs[worker], c.epoch, algs[worker].Sample(g, c.seeds, c.r))
+	})
+	return accs
+}

@@ -91,10 +91,11 @@ func (t *Table) Mark(input []int32, mask []bool) {
 	}
 }
 
-// Extract accounts one mini-batch extraction over the unique input
-// vertices: it returns the hit and miss counts and adds them to the
-// table's running counters.
-func (t *Table) Extract(input []int32) (hits, misses int) {
+// Probe counts cache hits and misses over a mini-batch's unique input
+// vertices without touching the accumulated counters. It is the single
+// lookup path shared by Extract and by side probes (e.g. the standby
+// table in internal/core), and is safe for concurrent use.
+func (t *Table) Probe(input []int32) (hits, misses int) {
 	for _, v := range input {
 		if t.slot[v] >= 0 {
 			hits++
@@ -102,6 +103,14 @@ func (t *Table) Extract(input []int32) (hits, misses int) {
 			misses++
 		}
 	}
+	return hits, misses
+}
+
+// Extract accounts one mini-batch extraction over the unique input
+// vertices: it returns the hit and miss counts and adds them to the
+// table's running counters.
+func (t *Table) Extract(input []int32) (hits, misses int) {
+	hits, misses = t.Probe(input)
 	t.hits.Add(int64(hits))
 	t.misses.Add(int64(misses))
 	t.missBytes.Add(int64(misses) * t.vertexFeatureBytes)

@@ -116,6 +116,13 @@ type Config struct {
 	Epochs int
 	Seed   uint64
 
+	// MeasureWorkers sizes the measurement engine's worker pool: the
+	// per-batch sampling+extract loop (and the PreSC / Optimal policy
+	// replays) fan across this many OS-level workers. 0 = GOMAXPROCS,
+	// 1 = the serial path. Per-batch RNG streams are keyed by
+	// (epoch, batch), so Reports are bit-identical at any worker count.
+	MeasureWorkers int
+
 	// MemScale divides the calibrated fixed memory footprints (runtime
 	// reserve, sampling and training workspaces). The footprints are
 	// calibrated for the 1/100-scale presets; tests and quick benches

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"gnnlab/internal/cache"
+	"gnnlab/internal/device"
+	"gnnlab/internal/gen"
+	"gnnlab/internal/workload"
+)
+
+// The measurement engine's contract: a Report is a pure function of
+// (dataset, config, seed) — MeasureWorkers only changes wall-clock time.
+// Every algorithm family the workloads use must hold to it, since each
+// keys its RNG consumption off the per-cell (epoch, batch) stream.
+
+func workerCounts() []int {
+	counts := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+func reportAt(t *testing.T, d *gen.Dataset, cfg Config, mem int64, memScale float64, workers int) *Report {
+	t.Helper()
+	cfg.MeasureWorkers = workers
+	return runScaled(t, d, cfg, mem, memScale)
+}
+
+func assertReportsIdentical(t *testing.T, d *gen.Dataset, cfg Config, mem int64, memScale float64) {
+	t.Helper()
+	base := reportAt(t, d, cfg, mem, memScale, 1)
+	for _, w := range workerCounts()[1:] {
+		got := reportAt(t, d, cfg, mem, memScale, w)
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("%s: report differs between MeasureWorkers=1 and %d:\n  1: %v\n  %d: %v",
+				cfg.Name, w, base, w, got)
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkersKHopFisherYates(t *testing.T) {
+	d, mem, ms := tinyDataset(t, gen.PresetPA, 16)
+	w := scaledSpec(workload.GCN, 16)
+	assertReportsIdentical(t, d, GNNLab(w, 4), mem, ms)
+}
+
+func TestRunDeterministicAcrossWorkersKHopReservoir(t *testing.T) {
+	d, mem, ms := tinyDataset(t, gen.PresetPA, 16)
+	w := scaledSpec(workload.GCN, 16)
+	cfg := DGL(w, 4)
+	if cfg.Sampler != device.SamplerGPUReservoir {
+		t.Fatal("DGL config no longer uses the reservoir sampler")
+	}
+	assertReportsIdentical(t, d, cfg, mem, ms)
+}
+
+func TestRunDeterministicAcrossWorkersWeightedKHop(t *testing.T) {
+	d, mem, ms := tinyDataset(t, gen.PresetTW, 16)
+	w := scaledSpec(workload.GCN, 16)
+	w.Weighted = true
+	assertReportsIdentical(t, d, GNNLab(w, 4), mem, ms)
+}
+
+func TestRunDeterministicAcrossWorkersRandomWalk(t *testing.T) {
+	d, mem, ms := tinyDataset(t, gen.PresetPA, 16)
+	w := scaledSpec(workload.PinSAGE, 16)
+	assertReportsIdentical(t, d, GNNLab(w, 4), mem, ms)
+}
+
+// The Optimal policy path exercises CollectFootprintN inside Run.
+func TestRunDeterministicAcrossWorkersOptimalPolicy(t *testing.T) {
+	d, mem, ms := tinyDataset(t, gen.PresetPA, 16)
+	w := scaledSpec(workload.GCN, 16)
+	cfg := GNNLab(w, 4)
+	cfg.CachePolicy = cache.PolicyOptimal
+	assertReportsIdentical(t, d, cfg, mem, ms)
+}

@@ -44,7 +44,7 @@ func Preprocess(ds *gen.Dataset, cfg Config) (PreprocessCost, error) {
 		LoadCache:    cfg.Cost.PCIeLoadTime(plan.cacheBytes),
 	}
 	if cfg.CacheEnabled && cfg.CachePolicy == cache.PolicyPreSC {
-		res := cache.PreSC(ds.Graph, cfg.Workload.NewSampler(), ds.TrainSet, cfg.Workload.BatchSize, cfg.PreSCK, cfg.Seed^0x12345)
+		res := cache.PreSCN(ds.Graph, cfg.Workload.NewSampler(), ds.TrainSet, cfg.Workload.BatchSize, cfg.PreSCK, cfg.Seed^0x12345, cfg.MeasureWorkers)
 		s := &sampling.Sample{SampledEdges: res.SampledEdges, ScannedEdges: res.ScannedEdges}
 		p.PreSample = cfg.Cost.SampleTime(s, cfg.Sampler, cfg.Workload.NumLayers())
 	}

@@ -7,6 +7,7 @@ import (
 	"gnnlab/internal/cache"
 	"gnnlab/internal/device"
 	"gnnlab/internal/gen"
+	"gnnlab/internal/par"
 	"gnnlab/internal/rng"
 	"gnnlab/internal/sampling"
 	"gnnlab/internal/sched"
@@ -168,30 +169,55 @@ func Run(d *gen.Dataset, cfg Config) (*Report, error) {
 			alg = sampling.NewKHop(kh.Fanouts, sampling.Reservoir)
 		}
 	}
+	// Plan every (epoch, batch) cell serially — shuffles and per-batch RNG
+	// streams are derived on this goroutine, keyed by (epoch, batch) — then
+	// fan the sampling+extract work across the measurement worker pool.
+	// Each cell writes only its own pre-sized slot, and hit/miss counters
+	// are commutative atomic sums, so the Report is bit-identical at any
+	// MeasureWorkers setting.
+	sampling.Prepare(alg, d.Graph)
+	type cell struct {
+		epoch, batch int
+		seeds        []int32
+		r            *rng.Rand
+	}
 	r := rng.New(cfg.Seed)
 	epochs := make([][]batchWork, cfg.Epochs)
+	var cells []cell
 	for e := 0; e < cfg.Epochs; e++ {
 		er := r.Split(uint64(e))
 		batches := sampling.Batches(d.TrainSet, cfg.Workload.BatchSize, er)
-		work := make([]batchWork, 0, len(batches))
-		for _, batch := range batches {
-			s := alg.Sample(d.Graph, batch, er)
-			w := batchWork{
-				sampledEdges: s.SampledEdges,
-				scannedEdges: s.ScannedEdges,
-				walks:        s.Walks,
-				numInput:     s.NumInput(),
-				sampleBytes:  s.Bytes(),
-				flops:        cfg.Workload.TrainFLOPs(s, dim),
-			}
-			w.hits, w.misses = table.Extract(s.Input)
-			if standbyTable != nil {
-				w.standbyHits, w.standbyMiss = countHits(standbyTable, s.Input)
-			}
-			work = append(work, w)
+		rands := er.SplitN(len(batches))
+		epochs[e] = make([]batchWork, len(batches))
+		for b, batch := range batches {
+			cells = append(cells, cell{epoch: e, batch: b, seeds: batch, r: rands[b]})
 		}
-		epochs[e] = work
 	}
+	workers := par.Workers(cfg.MeasureWorkers)
+	if workers > len(cells) && len(cells) > 0 {
+		workers = len(cells)
+	}
+	algs := make([]sampling.Algorithm, workers)
+	for i := range algs {
+		algs[i] = sampling.CloneAlgorithm(alg)
+	}
+	par.ForEach(cfg.MeasureWorkers, len(cells), func(worker, i int) {
+		c := cells[i]
+		s := algs[worker].Sample(d.Graph, c.seeds, c.r)
+		w := batchWork{
+			sampledEdges: s.SampledEdges,
+			scannedEdges: s.ScannedEdges,
+			walks:        s.Walks,
+			numInput:     s.NumInput(),
+			sampleBytes:  s.Bytes(),
+			flops:        cfg.Workload.TrainFLOPs(s, dim),
+		}
+		w.hits, w.misses = table.Extract(s.Input)
+		if standbyTable != nil {
+			w.standbyHits, w.standbyMiss = standbyTable.Probe(s.Input)
+		}
+		epochs[c.epoch][c.batch] = w
+	})
 	stats := table.Stats()
 	rep.HitRate = stats.HitRate()
 	rep.TransferredBytes = stats.MissBytes / int64(cfg.Epochs)
@@ -211,18 +237,6 @@ func Run(d *gen.Dataset, cfg Config) (*Report, error) {
 	}
 }
 
-// countHits probes a table without touching its accumulated counters.
-func countHits(t *cache.Table, input []int32) (hits, misses int) {
-	for _, v := range input {
-		if t.IsCached(v) {
-			hits++
-		} else {
-			misses++
-		}
-	}
-	return hits, misses
-}
-
 // buildRanking produces the cache ranking for the configured policy and
 // the pre-sampling cost when the policy is PreSC.
 func buildRanking(cfg Config, d *gen.Dataset) ([]int32, float64, error) {
@@ -233,14 +247,14 @@ func buildRanking(cfg Config, d *gen.Dataset) ([]int32, float64, error) {
 	case cache.PolicyRandom:
 		return cache.RandomHotness(g.NumVertices(), rng.New(cfg.Seed^0x5EED)).Rank(), 0, nil
 	case cache.PolicyPreSC:
-		res := cache.PreSC(g, cfg.Workload.NewSampler(), d.TrainSet, cfg.Workload.BatchSize, cfg.PreSCK, cfg.Seed^0x12345)
+		res := cache.PreSCN(g, cfg.Workload.NewSampler(), d.TrainSet, cfg.Workload.BatchSize, cfg.PreSCK, cfg.Seed^0x12345, cfg.MeasureWorkers)
 		s := &sampling.Sample{SampledEdges: res.SampledEdges, ScannedEdges: res.ScannedEdges}
 		t := cfg.Cost.SampleTime(s, cfg.Sampler, cfg.Workload.NumLayers())
 		return res.Hotness.Rank(), t, nil
 	case cache.PolicyOptimal:
 		// The oracle sees the measured run itself: identical seed and
 		// epoch count reproduce the exact footprint (§3 footnote 4).
-		fp := cache.CollectFootprint(g, cfg.Workload.NewSampler(), d.TrainSet, cfg.Workload.BatchSize, cfg.Epochs, cfg.Seed)
+		fp := cache.CollectFootprintN(g, cfg.Workload.NewSampler(), d.TrainSet, cfg.Workload.BatchSize, cfg.Epochs, cfg.Seed, cfg.MeasureWorkers)
 		return fp.OptimalHotness().Rank(), 0, nil
 	default:
 		return nil, 0, fmt.Errorf("system: unknown cache policy %v", cfg.CachePolicy)

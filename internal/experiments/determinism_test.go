@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// Rendered tables are byte-identical at any Workers setting: cells write
+// only pre-sized slots and the per-cell measurement engine is itself
+// deterministic. table1 covers the core.Run path (six system variants);
+// figure10 covers the analytic cache path (footprints, PreSC rankings).
+func assertRenderStable(t *testing.T, id string) {
+	t.Helper()
+	fn, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("unknown experiment %s", id)
+	}
+	render := func(workers int) string {
+		o := Quick()
+		o.Workers = workers
+		tbl, err := fn(o)
+		if err != nil {
+			t.Fatalf("%s at Workers=%d: %v", id, workers, err)
+		}
+		return tbl.Render()
+	}
+	counts := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		counts = append(counts, n)
+	}
+	base := render(counts[0])
+	for _, w := range counts[1:] {
+		if got := render(w); got != base {
+			t.Errorf("%s renders differently at Workers=1 vs %d:\n--- Workers=1 ---\n%s\n--- Workers=%d ---\n%s",
+				id, w, base, w, got)
+		}
+	}
+}
+
+func TestTable1RenderStableAcrossWorkers(t *testing.T) {
+	assertRenderStable(t, "table1")
+}
+
+func TestFigure10RenderStableAcrossWorkers(t *testing.T) {
+	assertRenderStable(t, "figure10")
+}

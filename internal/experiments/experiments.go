@@ -13,6 +13,7 @@ import (
 	"gnnlab/internal/core"
 	"gnnlab/internal/device"
 	"gnnlab/internal/gen"
+	"gnnlab/internal/par"
 	"gnnlab/internal/rng"
 	"gnnlab/internal/workload"
 )
@@ -29,6 +30,13 @@ type Options struct {
 	// Epochs measured per configuration (default 3; the paper uses 10).
 	Epochs int
 	Seed   uint64
+	// Workers sizes the measurement worker pool at both levels: the
+	// number of experiment cells (independent system configurations) run
+	// concurrently, and the MeasureWorkers handed to each core.Run.
+	// 0 = NumCPU, 1 = fully serial. Every table is bit-identical at any
+	// setting: cells write into pre-sized slots and the per-cell
+	// measurement engine is itself deterministic.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -62,7 +70,23 @@ func (o Options) apply(cfg core.Config) core.Config {
 	cfg.MemScale = float64(o.Scale)
 	cfg.Epochs = o.Epochs
 	cfg.Seed = o.Seed
+	cfg.MeasureWorkers = o.Workers
 	return cfg
+}
+
+// runCells evaluates n independent experiment cells on the Options'
+// worker pool. Each cell must write only its own pre-sized slot(s); rows
+// are then assembled serially in cell order, so rendered tables are
+// byte-identical at any Workers setting. On error, the error of the
+// lowest-indexed failing cell is returned (also independent of
+// scheduling).
+func (o Options) runCells(n int, fn func(i int) error) error {
+	g := par.NewGroup(par.Workers(o.Workers))
+	for i := 0; i < n; i++ {
+		i := i
+		g.Go(func() error { return fn(i) })
+	}
+	return g.Wait()
 }
 
 // batchSize returns the scaled mini-batch size, keeping the number of

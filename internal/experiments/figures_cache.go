@@ -6,6 +6,7 @@ import (
 	"gnnlab/internal/cache"
 	"gnnlab/internal/device"
 	"gnnlab/internal/gen"
+	"gnnlab/internal/par"
 	"gnnlab/internal/rng"
 	"gnnlab/internal/sampling"
 )
@@ -22,23 +23,38 @@ type policyEval struct {
 
 // evalPolicies measures `epochs` epochs of the Sample stage and builds the
 // requested policy rankings. prescKs lists the PreSC#K variants wanted.
+// The footprint replay and the PreSC pre-sampling runs use the Options'
+// worker pool, and the independent ranking builds run concurrently too;
+// each build writes only its own slot, so the result is deterministic.
 func evalPolicies(o Options, d *gen.Dataset, alg sampling.Algorithm, epochs int, prescKs []int) *policyEval {
 	pe := &policyEval{
 		d:        d,
-		fp:       cache.CollectFootprint(d.Graph, alg, d.TrainSet, o.batchSize(), epochs, o.Seed),
+		fp:       cache.CollectFootprintN(d.Graph, alg, d.TrainSet, o.batchSize(), epochs, o.Seed, o.Workers),
 		rankings: map[string][]int32{},
 	}
-	add := func(name string, rk []int32) {
-		pe.rankings[name] = rk
-		pe.order = append(pe.order, name)
+	type job struct {
+		name  string
+		build func() []int32
 	}
-	add("Random", cache.RandomHotness(d.NumVertices(), rng.New(o.Seed^0x5EED)).Rank())
-	add("Degree", cache.DegreeHotness(d.Graph).Rank())
+	jobs := []job{
+		{"Random", func() []int32 {
+			return cache.RandomHotness(d.NumVertices(), rng.New(o.Seed^0x5EED)).Rank()
+		}},
+		{"Degree", func() []int32 { return cache.DegreeHotness(d.Graph).Rank() }},
+	}
 	for _, k := range prescKs {
-		res := cache.PreSC(d.Graph, alg, d.TrainSet, o.batchSize(), k, o.Seed^0x12345)
-		add(fmt.Sprintf("PreSC#%d", k), res.Hotness.Rank())
+		k := k
+		jobs = append(jobs, job{fmt.Sprintf("PreSC#%d", k), func() []int32 {
+			return cache.PreSCN(d.Graph, alg, d.TrainSet, o.batchSize(), k, o.Seed^0x12345, o.Workers).Hotness.Rank()
+		}})
 	}
-	add("Optimal", pe.fp.OptimalHotness().Rank())
+	jobs = append(jobs, job{"Optimal", func() []int32 { return pe.fp.OptimalHotness().Rank() }})
+	ranks := make([][]int32, len(jobs))
+	par.ForEach(o.Workers, len(jobs), func(_, i int) { ranks[i] = jobs[i].build() })
+	for i, j := range jobs {
+		pe.rankings[j.name] = ranks[i]
+		pe.order = append(pe.order, j.name)
+	}
 	return pe
 }
 
@@ -132,10 +148,12 @@ func Figure5(o Options) (*Table, error) {
 		{"PA 3-hop uniform", gen.PresetPA, sampling.ForGCN()},
 		{"TW 3-hop weighted", gen.PresetTW, sampling.ForGCNWeighted()},
 	}
-	for _, c := range cases {
+	groups := make([][][]string, len(cases))
+	if err := o.runCells(len(cases), func(i int) error {
+		c := cases[i]
 		d, err := o.load(c.preset)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pe := evalPolicies(o, d, c.alg, o.Epochs, nil)
 		vfb := int64(d.FeatureDim) * 4
@@ -146,8 +164,14 @@ func Figure5(o Options) (*Table, error) {
 			if opt > 0 {
 				rel = fmt.Sprintf("%.1fx", float64(deg)/float64(opt))
 			}
-			t.AddRow(c.label, pct(ratio), megabytes(deg), megabytes(opt), rel)
+			groups[i] = append(groups[i], []string{c.label, pct(ratio), megabytes(deg), megabytes(opt), rel})
 		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, g := range groups {
+		t.Rows = append(t.Rows, g...)
 	}
 	return t, nil
 }
@@ -170,21 +194,26 @@ func Figure10(o Options) (*Table, error) {
 		Title:  "Cache hit rate at 10% cache ratio",
 		Header: []string{"Algorithm", "Dataset", "Random", "Degree", "PreSC#1", "Optimal"},
 	}
-	for _, a := range algs {
-		for _, name := range gen.PresetNames() {
-			d, err := o.load(name)
-			if err != nil {
-				return nil, err
-			}
-			pe := evalPolicies(o, d, a.mk(), o.Epochs, []int{1})
-			slots := pe.slots(0.10)
-			t.AddRow(a.name, name,
-				pct(pe.fp.HitRate(pe.rankings["Random"], slots)),
-				pct(pe.fp.HitRate(pe.rankings["Degree"], slots)),
-				pct(pe.fp.HitRate(pe.rankings["PreSC#1"], slots)),
-				pct(pe.fp.HitRate(pe.rankings["Optimal"], slots)))
+	presets := gen.PresetNames()
+	rows := make([][]string, len(algs)*len(presets))
+	if err := o.runCells(len(rows), func(i int) error {
+		a, name := algs[i/len(presets)], presets[i%len(presets)]
+		d, err := o.load(name)
+		if err != nil {
+			return err
 		}
+		pe := evalPolicies(o, d, a.mk(), o.Epochs, []int{1})
+		slots := pe.slots(0.10)
+		rows[i] = []string{a.name, name,
+			pct(pe.fp.HitRate(pe.rankings["Random"], slots)),
+			pct(pe.fp.HitRate(pe.rankings["Degree"], slots)),
+			pct(pe.fp.HitRate(pe.rankings["PreSC#1"], slots)),
+			pct(pe.fp.HitRate(pe.rankings["Optimal"], slots))}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 

@@ -70,25 +70,30 @@ func Figure12(o Options) (*Table, error) {
 		{"PSG", o.spec(workload.PinSAGE)},
 	}
 	policies := []cache.PolicyKind{cache.PolicyDegree, cache.PolicyRandom, cache.PolicyPreSC}
-	for _, wl := range workloads {
-		for _, name := range []string{gen.PresetTW, gen.PresetPA, gen.PresetUK} {
-			d, err := o.load(name)
-			if err != nil {
-				return nil, err
-			}
-			row := []string{wl.label, name}
-			for _, pol := range policies {
-				cfg := o.apply(core.GNNLab(wl.spec, o.NumGPUs))
-				cfg.CachePolicy = pol
-				rep, err := core.Run(d, cfg)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, cellOrOOM(rep, func(r *core.Report) string { return secs(r.ExtractTot) }))
-			}
-			t.AddRow(row...)
+	presets := []string{gen.PresetTW, gen.PresetPA, gen.PresetUK}
+	rows := make([][]string, len(workloads)*len(presets))
+	if err := o.runCells(len(rows), func(i int) error {
+		wl, name := workloads[i/len(presets)], presets[i%len(presets)]
+		d, err := o.load(name)
+		if err != nil {
+			return err
 		}
+		row := []string{wl.label, name}
+		for _, pol := range policies {
+			cfg := o.apply(core.GNNLab(wl.spec, o.NumGPUs))
+			cfg.CachePolicy = pol
+			rep, err := core.Run(d, cfg)
+			if err != nil {
+				return err
+			}
+			row = append(row, cellOrOOM(rep, func(r *core.Report) string { return secs(r.ExtractTot) }))
+		}
+		rows[i] = row
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -118,25 +123,30 @@ func Figure13(o Options) (*Table, error) {
 		{"PSG", o.spec(workload.PinSAGE)},
 	}
 	policies := []cache.PolicyKind{cache.PolicyDegree, cache.PolicyRandom, cache.PolicyPreSC}
-	for _, wl := range workloads {
-		for _, name := range []string{gen.PresetTW, gen.PresetPA, gen.PresetUK} {
-			d, err := o.load(name)
-			if err != nil {
-				return nil, err
-			}
-			row := []string{wl.label, name}
-			for _, pol := range policies {
-				cfg := o.apply(core.GNNLab(wl.spec, o.NumGPUs))
-				cfg.CachePolicy = pol
-				rep, err := core.Run(d, cfg)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, cellOrOOM(rep, func(r *core.Report) string { return secs(r.EpochTime) }))
-			}
-			t.AddRow(row...)
+	presets := []string{gen.PresetTW, gen.PresetPA, gen.PresetUK}
+	rows := make([][]string, len(workloads)*len(presets))
+	if err := o.runCells(len(rows), func(i int) error {
+		wl, name := workloads[i/len(presets)], presets[i%len(presets)]
+		d, err := o.load(name)
+		if err != nil {
+			return err
 		}
+		row := []string{wl.label, name}
+		for _, pol := range policies {
+			cfg := o.apply(core.GNNLab(wl.spec, o.NumGPUs))
+			cfg.CachePolicy = pol
+			rep, err := core.Run(d, cfg)
+			if err != nil {
+				return err
+			}
+			row = append(row, cellOrOOM(rep, func(r *core.Report) string { return secs(r.EpochTime) }))
+		}
+		rows[i] = row
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -151,36 +161,43 @@ func Figure14(o Options) (*Table, error) {
 		Title:  "Scalability: GCN epoch time (s) vs number of GPUs",
 		Header: []string{"Dataset", "GPUs", "DGL", "T_SOTA", "GNNLab/1S", "GNNLab/2S", "GNNLab/3S"},
 	}
-	for _, name := range []string{gen.PresetPA, gen.PresetTW} {
+	presets := []string{gen.PresetPA, gen.PresetTW}
+	nGPUCounts := o.NumGPUs - 1 // 2..NumGPUs
+	rows := make([][]string, len(presets)*nGPUCounts)
+	if err := o.runCells(len(rows), func(i int) error {
+		name := presets[i/nGPUCounts]
+		gpus := 2 + i%nGPUCounts
 		d, err := o.load(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for gpus := 2; gpus <= o.NumGPUs; gpus++ {
-			row := []string{name, fmt.Sprintf("%d", gpus)}
-			for _, mk := range []func(workload.Spec, int) core.Config{core.DGL, core.TSOTA} {
-				rep, err := core.Run(d, o.apply(mk(w, gpus)))
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, cellOrOOM(rep, func(r *core.Report) string { return secs(r.EpochTime) }))
+		row := []string{name, fmt.Sprintf("%d", gpus)}
+		for _, mk := range []func(workload.Spec, int) core.Config{core.DGL, core.TSOTA} {
+			rep, err := core.Run(d, o.apply(mk(w, gpus)))
+			if err != nil {
+				return err
 			}
-			for ns := 1; ns <= 3; ns++ {
-				if ns >= gpus {
-					row = append(row, "-")
-					continue
-				}
-				cfg := o.apply(core.GNNLab(w, gpus))
-				cfg.ForceSamplers = ns
-				rep, err := core.Run(d, cfg)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, cellOrOOM(rep, func(r *core.Report) string { return secs(r.EpochTime) }))
-			}
-			t.AddRow(row...)
+			row = append(row, cellOrOOM(rep, func(r *core.Report) string { return secs(r.EpochTime) }))
 		}
+		for ns := 1; ns <= 3; ns++ {
+			if ns >= gpus {
+				row = append(row, "-")
+				continue
+			}
+			cfg := o.apply(core.GNNLab(w, gpus))
+			cfg.ForceSamplers = ns
+			rep, err := core.Run(d, cfg)
+			if err != nil {
+				return err
+			}
+			row = append(row, cellOrOOM(rep, func(r *core.Report) string { return secs(r.EpochTime) }))
+		}
+		rows[i] = row
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -199,22 +216,33 @@ func Figure15(o Options) (*Table, error) {
 		Title:  "GNNLab GCN on PA: stage and epoch times (s) by allocation",
 		Header: []string{"Alloc", "Sample", "Extract", "Train", "Epoch"},
 	}
+	type split struct{ ns, nt int }
+	var splits []split
 	for ns := 1; ns <= 3; ns++ {
 		for nt := 1; ns+nt <= o.NumGPUs; nt++ {
-			cfg := o.apply(core.GNNLab(w, ns+nt))
-			cfg.ForceSamplers = ns
-			rep, err := core.Run(d, cfg)
-			if err != nil {
-				return nil, err
-			}
-			if rep.OOM {
-				t.AddRow(fmt.Sprintf("%dS%dT", ns, nt), "OOM", "", "", "")
-				continue
-			}
-			t.AddRow(fmt.Sprintf("%dS%dT", ns, nt),
-				secs(rep.SampleTotal), secs(rep.ExtractTot), secs(rep.TrainTot), secs(rep.EpochTime))
+			splits = append(splits, split{ns, nt})
 		}
 	}
+	rows := make([][]string, len(splits))
+	if err := o.runCells(len(splits), func(i int) error {
+		ns, nt := splits[i].ns, splits[i].nt
+		cfg := o.apply(core.GNNLab(w, ns+nt))
+		cfg.ForceSamplers = ns
+		rep, err := core.Run(d, cfg)
+		if err != nil {
+			return err
+		}
+		if rep.OOM {
+			rows[i] = []string{fmt.Sprintf("%dS%dT", ns, nt), "OOM", "", "", ""}
+			return nil
+		}
+		rows[i] = []string{fmt.Sprintf("%dS%dT", ns, nt),
+			secs(rep.SampleTotal), secs(rep.ExtractTot), secs(rep.TrainTot), secs(rep.EpochTime)}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -233,30 +261,36 @@ func Figure17a(o Options) (*Table, error) {
 		Title:  "PinSAGE on PA, 1 Sampler: epoch time (s) with/without dynamic switching",
 		Header: []string{"Trainers", "w/o DS", "w/ DS", "standby tasks/epoch"},
 	}
-	for nt := 1; nt < o.NumGPUs; nt++ {
+	rows := make([][]string, o.NumGPUs-1)
+	if err := o.runCells(len(rows), func(i int) error {
+		nt := i + 1
 		base := o.apply(core.GNNLab(w, nt+1))
 		base.ForceSamplers = 1
 		base.Sync = false
 		off := base
 		rep1, err := core.Run(d, off)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		on := base
 		on.DynamicSwitching = true
 		rep2, err := core.Run(d, on)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		standby := "-"
 		if !rep2.OOM {
 			standby = fmt.Sprintf("%.1f", float64(rep2.TasksByStandby)/float64(rep2.Epochs))
 		}
-		t.AddRow(fmt.Sprintf("%d", nt),
+		rows[i] = []string{fmt.Sprintf("%d", nt),
 			cellOrOOM(rep1, func(r *core.Report) string { return secs(r.EpochTime) }),
 			cellOrOOM(rep2, func(r *core.Report) string { return secs(r.EpochTime) }),
-			standby)
+			standby}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -271,20 +305,26 @@ func Figure17b(o Options) (*Table, error) {
 		Title:  "GraphSAGE epoch time (s) on a single GPU",
 		Header: []string{"Dataset", "DGL", "T_SOTA", "GNNLab"},
 	}
-	for _, name := range gen.PresetNames() {
-		d, err := o.load(name)
+	presets := gen.PresetNames()
+	rows := make([][]string, len(presets))
+	if err := o.runCells(len(presets), func(i int) error {
+		d, err := o.load(presets[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := []string{name}
+		row := []string{presets[i]}
 		for _, mk := range []func(workload.Spec, int) core.Config{core.DGL, core.TSOTA, core.GNNLab} {
 			rep, err := core.Run(d, o.apply(mk(w, 1)))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row = append(row, cellOrOOM(rep, func(r *core.Report) string { return secs(r.EpochTime) }))
 		}
-		t.AddRow(row...)
+		rows[i] = row
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }

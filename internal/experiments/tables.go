@@ -43,15 +43,21 @@ func Table1(o Options) (*Table, error) {
 		Title:  "Epoch breakdown (s): 3-layer GCN on PA, 1 GPU",
 		Header: []string{"System", "Sample", "Extract", "Train", "Total"},
 	}
-	for _, v := range variants {
+	reps := make([]*core.Report, len(variants))
+	if err := o.runCells(len(variants), func(i int) error {
+		v := variants[i]
 		cfg := o.apply(v.cfg)
 		cfg.Name = v.name
 		cfg.Sampler = v.sampler
 		cfg.CacheEnabled = v.caching
 		rep, err := core.Run(d, cfg)
-		if err != nil {
-			return nil, err
-		}
+		reps[i] = rep
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		rep := reps[i]
 		if rep.OOM {
 			t.AddRow(v.name, "OOM", "OOM", "OOM", "OOM")
 			continue
@@ -80,20 +86,26 @@ func Table2(o Options) (*Table, error) {
 		Header: []string{"Sampling algorithm", "PR", "TW", "PA", "UK"},
 	}
 	const epochs = 4
-	for _, a := range algs {
-		row := []string{a.name}
-		for _, name := range gen.PresetNames() {
-			d, err := o.load(name)
-			if err != nil {
-				return nil, err
-			}
-			fps := cache.CollectEpochFootprints(d.Graph, a.alg, d.TrainSet, o.batchSize(), epochs, o.Seed)
-			var sum float64
-			for i := 1; i < len(fps); i++ {
-				sum += cache.Similarity(fps[i-1], fps[i], 0.10)
-			}
-			row = append(row, fmt.Sprintf("%.2f", 100*sum/float64(len(fps)-1)))
+	presets := gen.PresetNames()
+	cells := make([]string, len(algs)*len(presets))
+	if err := o.runCells(len(cells), func(i int) error {
+		a, name := algs[i/len(presets)], presets[i%len(presets)]
+		d, err := o.load(name)
+		if err != nil {
+			return err
 		}
+		fps := cache.CollectEpochFootprintsN(d.Graph, a.alg, d.TrainSet, o.batchSize(), epochs, o.Seed, o.Workers)
+		var sum float64
+		for j := 1; j < len(fps); j++ {
+			sum += cache.Similarity(fps[j-1], fps[j], 0.10)
+		}
+		cells[i] = fmt.Sprintf("%.2f", 100*sum/float64(len(fps)-1))
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for ai, a := range algs {
+		row := append([]string{a.name}, cells[ai*len(presets):(ai+1)*len(presets)]...)
 		t.AddRow(row...)
 	}
 	return t, nil
@@ -132,34 +144,39 @@ func Table4(o Options) (*Table, error) {
 		Title:  fmt.Sprintf("Epoch time (s) on %d GPUs", o.NumGPUs),
 		Header: []string{"Model", "Dataset", "PyG", "DGL", "T_SOTA", "GNNLab", "(alloc)"},
 	}
-	for _, kind := range workload.Kinds() {
+	kinds := workload.Kinds()
+	presets := gen.PresetNames()
+	rows := make([][]string, len(kinds)*len(presets))
+	if err := o.runCells(len(rows), func(i int) error {
+		kind, name := kinds[i/len(presets)], presets[i%len(presets)]
 		w := o.spec(kind)
-		for _, name := range gen.PresetNames() {
-			d, err := o.load(name)
-			if err != nil {
-				return nil, err
-			}
-			row := []string{kind.String(), name}
-			var alloc string
-			for _, mk := range []func(workload.Spec, int) core.Config{core.PyG, core.DGL, core.TSOTA, core.GNNLab} {
-				cfg := o.apply(mk(w, o.NumGPUs))
-				if kind == workload.PinSAGE && cfg.Design == core.DesignCPUSampling {
-					row = append(row, "x") // PyG does not support PinSAGE (Table 4)
-					continue
-				}
-				rep, err := core.Run(d, cfg)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, cellOrOOM(rep, func(r *core.Report) string { return secs(r.EpochTime) }))
-				if cfg.Design == core.DesignGNNLab && !rep.OOM {
-					alloc = rep.Alloc.String()
-				}
-			}
-			row = append(row, alloc)
-			t.AddRow(row...)
+		d, err := o.load(name)
+		if err != nil {
+			return err
 		}
+		row := []string{kind.String(), name}
+		var alloc string
+		for _, mk := range []func(workload.Spec, int) core.Config{core.PyG, core.DGL, core.TSOTA, core.GNNLab} {
+			cfg := o.apply(mk(w, o.NumGPUs))
+			if kind == workload.PinSAGE && cfg.Design == core.DesignCPUSampling {
+				row = append(row, "x") // PyG does not support PinSAGE (Table 4)
+				continue
+			}
+			rep, err := core.Run(d, cfg)
+			if err != nil {
+				return err
+			}
+			row = append(row, cellOrOOM(rep, func(r *core.Report) string { return secs(r.EpochTime) }))
+			if cfg.Design == core.DesignGNNLab && !rep.OOM {
+				alloc = rep.Alloc.String()
+			}
+		}
+		rows[i] = append(row, alloc)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -174,31 +191,39 @@ func Table5(o Options) (*Table, error) {
 		Header: []string{"Model", "Dataset", "System", "S", "G", "M", "C",
 			"E", "R%", "H%", "T"},
 	}
-	for _, kind := range workload.Kinds() {
+	kinds := workload.Kinds()
+	presets := gen.PresetNames()
+	groups := make([][][]string, len(kinds)*len(presets))
+	if err := o.runCells(len(groups), func(i int) error {
+		kind, name := kinds[i/len(presets)], presets[i%len(presets)]
 		w := o.spec(kind)
-		for _, name := range gen.PresetNames() {
-			d, err := o.load(name)
-			if err != nil {
-				return nil, err
-			}
-			for _, mk := range []func(workload.Spec, int) core.Config{core.DGL, core.TSOTA, core.GNNLab} {
-				cfg := o.apply(mk(w, 2))
-				if cfg.Design == core.DesignGNNLab {
-					cfg.ForceSamplers = 1
-				}
-				rep, err := core.Run(d, cfg)
-				if err != nil {
-					return nil, err
-				}
-				if rep.OOM {
-					t.AddRow(kind.String(), name, cfg.Name, "OOM", "", "", "", "", "", "", "")
-					continue
-				}
-				t.AddRow(kind.String(), name, cfg.Name,
-					secs(rep.SampleTotal), secs(rep.SampleG), secs(rep.SampleM), secs(rep.SampleC),
-					secs(rep.ExtractTot), pct(rep.CacheRatio), pct(rep.HitRate), secs(rep.TrainTot))
-			}
+		d, err := o.load(name)
+		if err != nil {
+			return err
 		}
+		for _, mk := range []func(workload.Spec, int) core.Config{core.DGL, core.TSOTA, core.GNNLab} {
+			cfg := o.apply(mk(w, 2))
+			if cfg.Design == core.DesignGNNLab {
+				cfg.ForceSamplers = 1
+			}
+			rep, err := core.Run(d, cfg)
+			if err != nil {
+				return err
+			}
+			if rep.OOM {
+				groups[i] = append(groups[i], []string{kind.String(), name, cfg.Name, "OOM", "", "", "", "", "", "", ""})
+				continue
+			}
+			groups[i] = append(groups[i], []string{kind.String(), name, cfg.Name,
+				secs(rep.SampleTotal), secs(rep.SampleG), secs(rep.SampleM), secs(rep.SampleC),
+				secs(rep.ExtractTot), pct(rep.CacheRatio), pct(rep.HitRate), secs(rep.TrainTot)})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, g := range groups {
+		t.Rows = append(t.Rows, g...)
 	}
 	return t, nil
 }
@@ -214,29 +239,30 @@ func Table6(o Options) (*Table, error) {
 		Title:  "Preprocessing time (s) for GCN",
 		Header: []string{"Step", "PR", "TW", "PA", "UK"},
 	}
-	rows := map[string][]string{}
 	order := []string{"Disk to DRAM (G & F)", "DRAM to GPU (G & $)", "  Load graph topology", "  Load feature cache", "Pre-sampling (PreSC#1)"}
-	for _, step := range order {
-		rows[step] = []string{step}
-	}
-	for _, name := range gen.PresetNames() {
-		d, err := o.load(name)
+	presets := gen.PresetNames()
+	cols := make([][]string, len(presets))
+	if err := o.runCells(len(presets), func(i int) error {
+		d, err := o.load(presets[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg := o.apply(core.GNNLab(w, o.NumGPUs))
 		p, err := core.Preprocess(d, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows[order[0]] = append(rows[order[0]], secs(p.DiskToDRAM))
-		rows[order[1]] = append(rows[order[1]], secs(p.DRAMToGPU()))
-		rows[order[2]] = append(rows[order[2]], secs(p.LoadTopology))
-		rows[order[3]] = append(rows[order[3]], secs(p.LoadCache))
-		rows[order[4]] = append(rows[order[4]], secs(p.PreSample))
+		cols[i] = []string{secs(p.DiskToDRAM), secs(p.DRAMToGPU()), secs(p.LoadTopology), secs(p.LoadCache), secs(p.PreSample)}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	for _, step := range order {
-		t.AddRow(rows[step]...)
+	for si, step := range order {
+		row := []string{step}
+		for _, col := range cols {
+			row = append(row, col[si])
+		}
+		t.AddRow(row...)
 	}
 	return t, nil
 }

@@ -1,0 +1,125 @@
+package par
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Errorf("Workers(3) = %d", Workers(3))
+	}
+	if Workers(0) != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", Workers(0))
+	}
+	if Workers(-1) != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-1) = %d, want GOMAXPROCS", Workers(-1))
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 0} {
+		const n = 1000
+		counts := make([]atomic.Int32, n)
+		ForEach(workers, n, func(_, i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachWorkerIDsInRange(t *testing.T) {
+	const workers, n = 4, 100
+	var bad atomic.Int32
+	ForEach(workers, n, func(w, _ int) {
+		if w < 0 || w >= workers {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Error("worker id out of range")
+	}
+}
+
+func TestForEachDeterministicSlots(t *testing.T) {
+	// The contract: writing slot i only must give identical output at any
+	// worker count.
+	const n = 512
+	want := make([]int, n)
+	ForEach(1, n, func(_, i int) { want[i] = i * i })
+	for _, workers := range []int{2, 3, 8} {
+		got := make([]int, n)
+		ForEach(workers, n, func(_, i int) { got[i] = i * i })
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	ran := false
+	ForEach(4, 0, func(_, _ int) { ran = true })
+	ForEach(4, -3, func(_, _ int) { ran = true })
+	if ran {
+		t.Error("fn ran for empty index space")
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	ForEach(4, 16, func(_, i int) {
+		if i == 7 {
+			panic("boom")
+		}
+	})
+}
+
+func TestGroupFirstErrorBySubmissionOrder(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for trial := 0; trial < 20; trial++ {
+		g := NewGroup(4)
+		g.Go(func() error { return nil })
+		g.Go(func() error { return errA })
+		g.Go(func() error { return errB })
+		if err := g.Wait(); !errors.Is(err, errA) {
+			t.Fatalf("Wait() = %v, want first-submitted error %v", err, errA)
+		}
+	}
+}
+
+func TestGroupNoError(t *testing.T) {
+	g := NewGroup(2)
+	var sum atomic.Int64
+	for i := 1; i <= 10; i++ {
+		i := i
+		g.Go(func() error { sum.Add(int64(i)); return nil })
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait() = %v", err)
+	}
+	if sum.Load() != 55 {
+		t.Errorf("sum = %d, want 55", sum.Load())
+	}
+}
+
+func TestGroupPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	g := NewGroup(2)
+	g.Go(func() error { panic("boom") })
+	_ = g.Wait()
+}

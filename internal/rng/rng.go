@@ -41,6 +41,21 @@ func (r *Rand) Split(id uint64) *Rand {
 	return New(r.Uint64() ^ (id+1)*0x9e3779b97f4a7c15)
 }
 
+// SplitN derives n independent generators from r, keyed by their index.
+// This is the (epoch, batch) determinism convention of the parallel
+// measurement engine: calling SplitN on an epoch-keyed generator yields one
+// decorrelated stream per mini-batch, independent of how the batches are
+// later assigned to workers. The derivation itself draws from r
+// sequentially, so it must run on the coordinating goroutine before any
+// fan-out.
+func (r *Rand) SplitN(n int) []*Rand {
+	out := make([]*Rand, n)
+	for i := range out {
+		out[i] = r.Split(uint64(i))
+	}
+	return out
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.

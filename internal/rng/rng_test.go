@@ -218,6 +218,27 @@ func TestZipfPanics(t *testing.T) {
 	}
 }
 
+func TestSplitNMatchesSequentialSplits(t *testing.T) {
+	a := New(77)
+	b := New(77)
+	got := a.SplitN(8)
+	for i := 0; i < 8; i++ {
+		want := b.Split(uint64(i))
+		if got[i].Uint64() != want.Uint64() || got[i].Uint64() != want.Uint64() {
+			t.Fatalf("SplitN stream %d diverges from sequential Split", i)
+		}
+	}
+	// Distinct streams must not collide on their first draws.
+	seen := map[uint64]bool{}
+	for _, r := range New(77).SplitN(64) {
+		v := r.Uint64()
+		if seen[v] {
+			t.Fatal("SplitN streams collide")
+		}
+		seen[v] = true
+	}
+}
+
 func BenchmarkUint64(b *testing.B) {
 	r := New(1)
 	for i := 0; i < b.N; i++ {

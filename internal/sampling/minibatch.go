@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"gnnlab/internal/graph"
 	"gnnlab/internal/rng"
 )
 
@@ -63,4 +64,22 @@ func CloneAlgorithm(alg Algorithm) Algorithm {
 		return c.Clone()
 	}
 	return alg
+}
+
+// Preparer is implemented by algorithms with per-graph preprocessing —
+// WeightedKHop's CDF/alias tables, ClusterGCN's partition. Prepare builds
+// the structures for g eagerly so that concurrent executors cloned from
+// the same sampler hit read-only state instead of racing on a build lock.
+// Prepare must be idempotent and safe to call concurrently.
+type Preparer interface {
+	Prepare(g *graph.CSR)
+}
+
+// Prepare eagerly runs alg's per-graph preprocessing, if any. The parallel
+// measurement engine calls this once on the coordinating goroutine before
+// fanning Sample calls across workers.
+func Prepare(alg Algorithm, g *graph.CSR) {
+	if p, ok := alg.(Preparer); ok {
+		p.Prepare(g)
+	}
 }

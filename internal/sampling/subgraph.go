@@ -2,6 +2,7 @@ package sampling
 
 import (
 	"fmt"
+	"sync"
 
 	"gnnlab/internal/graph"
 	"gnnlab/internal/rng"
@@ -57,13 +58,14 @@ type ClusterGCN struct {
 	NumClusters int
 	Seed        uint64
 
-	// assignment is built lazily per graph and shared across clones.
-	state *clusterState
+	// partitions maps *graph.CSR to its *clusterState; each state's
+	// partition is built exactly once (behind a sync.Once) and shared
+	// across clones, so concurrent executors read immutable data.
+	partitions *sync.Map
 }
 
 type clusterState struct {
-	built    bool
-	g        *graph.CSR
+	once     sync.Once
 	clusters [][]int32
 	assign   []int32
 }
@@ -73,7 +75,7 @@ func NewClusterGCN(numClusters int, seed uint64) *ClusterGCN {
 	if numClusters <= 0 {
 		panic("sampling: NewClusterGCN with non-positive cluster count")
 	}
-	return &ClusterGCN{NumClusters: numClusters, Seed: seed, state: &clusterState{}}
+	return &ClusterGCN{NumClusters: numClusters, Seed: seed, partitions: &sync.Map{}}
 }
 
 // Clone shares the partition across executors.
@@ -85,23 +87,24 @@ func (c *ClusterGCN) Name() string { return fmt.Sprintf("cluster-gcn(%d)", c.Num
 // NumHops implements Algorithm: subgraph samples are single-layer.
 func (c *ClusterGCN) NumHops() int { return 1 }
 
-func (c *ClusterGCN) ensure(g *graph.CSR) {
-	if c.state.built && c.state.g == g {
-		return
-	}
-	clusters := graph.Partition(g, c.NumClusters, c.Seed)
-	c.state = &clusterState{
-		built:    true,
-		g:        g,
-		clusters: clusters,
-		assign:   graph.PartitionAssignment(clusters, g.NumVertices()),
-	}
+// Prepare implements Preparer: it partitions g eagerly so concurrent
+// executors never contend on the lazy build.
+func (c *ClusterGCN) Prepare(g *graph.CSR) { c.ensure(g) }
+
+func (c *ClusterGCN) ensure(g *graph.CSR) *clusterState {
+	e, _ := c.partitions.LoadOrStore(g, &clusterState{})
+	st := e.(*clusterState)
+	st.once.Do(func() {
+		st.clusters = graph.Partition(g, c.NumClusters, c.Seed)
+		st.assign = graph.PartitionAssignment(st.clusters, g.NumVertices())
+	})
+	return st
 }
 
 // Sample implements Algorithm: the member set is the union of the seeds'
 // clusters (seeds listed first).
 func (c *ClusterGCN) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
-	c.ensure(g)
+	st := c.ensure(g)
 	_ = r
 	seen := map[int32]bool{}
 	members := append([]int32(nil), seeds...)
@@ -109,11 +112,18 @@ func (c *ClusterGCN) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
 		seen[v] = true
 	}
 	picked := map[int32]bool{}
+	var order []int32
 	for _, v := range seeds {
-		picked[c.state.assign[v]] = true
+		cid := st.assign[v]
+		if !picked[cid] {
+			picked[cid] = true
+			order = append(order, cid)
+		}
 	}
-	for cid := range picked {
-		for _, v := range c.state.clusters[cid] {
+	// Expand clusters in first-seed order (not map order) so the member
+	// list — and therefore the sample — is deterministic.
+	for _, cid := range order {
+		for _, v := range st.clusters[cid] {
 			if !seen[v] {
 				seen[v] = true
 				members = append(members, v)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"gnnlab/internal/graph"
 	"gnnlab/internal/rng"
@@ -34,11 +35,29 @@ type WeightedKHop struct {
 }
 
 // weightTables caches the per-graph draw structures so every executor
-// cloned from the same sampler shares one O(E) precomputation.
+// cloned from the same sampler shares one O(E) precomputation. Each graph
+// maps to an entry guarded by a sync.Once: the build happens exactly once
+// no matter how many clones race, and after it the lookup is a lock-free
+// sync.Map read — Sample's hot path never takes a build lock. Prefer
+// building eagerly via Prepare before fanning out executors.
 type weightTables struct {
-	mu    sync.Mutex
-	cdf   map[*graph.CSR][]float32  // parallel to g.Weights, cumulative per row
-	alias map[*graph.CSR]*flatAlias // per-row alias tables, flat over CSR offsets
+	cdf   sync.Map // *graph.CSR -> *cdfTable
+	alias sync.Map // *graph.CSR -> *aliasTable
+	// builds counts table constructions across both methods; tests assert
+	// exactly-once builds under concurrent clones.
+	builds atomic.Int64
+}
+
+// cdfTable is one graph's cumulative-weight array, built once.
+type cdfTable struct {
+	once sync.Once
+	cum  []float32 // parallel to g.Weights, cumulative per row
+}
+
+// aliasTable is one graph's per-row alias tables, built once.
+type aliasTable struct {
+	once sync.Once
+	fa   *flatAlias
 }
 
 // flatAlias packs one alias table per adjacency row into flat arrays
@@ -68,7 +87,7 @@ func NewWeightedKHopMethod(fanouts []int, method WeightedDrawMethod) *WeightedKH
 	return &WeightedKHop{
 		Fanouts: append([]int(nil), fanouts...),
 		Method:  method,
-		tables:  &weightTables{cdf: map[*graph.CSR][]float32{}, alias: map[*graph.CSR]*flatAlias{}},
+		tables:  &weightTables{},
 	}
 }
 
@@ -85,50 +104,66 @@ func (w *WeightedKHop) Name() string {
 // NumHops implements Algorithm.
 func (w *WeightedKHop) NumHops() int { return len(w.Fanouts) }
 
-// cumulative returns (building if needed) the cumulative weight array for g.
-func (t *weightTables) cumulative(g *graph.CSR) []float32 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if cum, ok := t.cdf[g]; ok {
-		return cum
+// Prepare implements Preparer: it eagerly builds the draw tables of the
+// configured method for g, so the lazy build never contends once executors
+// fan out. No-op on unweighted graphs (Sample reports that error itself).
+func (w *WeightedKHop) Prepare(g *graph.CSR) {
+	if !g.Weighted() {
+		return
 	}
-	cum := make([]float32, len(g.Weights))
-	n := g.NumVertices()
-	for v := 0; v < n; v++ {
-		lo, hi := g.RowPtr[v], g.RowPtr[v+1]
-		var run float32
-		for i := lo; i < hi; i++ {
-			run += g.Weights[i]
-			cum[i] = run
-		}
+	if w.Method == WeightedAlias {
+		w.tables.aliases(g)
+	} else {
+		w.tables.cumulative(g)
 	}
-	t.cdf[g] = cum
-	return cum
 }
 
-// aliases returns (building if needed) per-row alias tables for g.
-func (t *weightTables) aliases(g *graph.CSR) *flatAlias {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if fa, ok := t.alias[g]; ok {
-		return fa
-	}
-	fa := &flatAlias{
-		prob:  make([]float32, len(g.Weights)),
-		alias: make([]int32, len(g.Weights)),
-	}
-	n := g.NumVertices()
-	for v := 0; v < n; v++ {
-		lo, hi := g.RowPtr[v], g.RowPtr[v+1]
-		if lo == hi {
-			continue
+// cumulative returns (building exactly once if needed) the cumulative
+// weight array for g.
+func (t *weightTables) cumulative(g *graph.CSR) []float32 {
+	e, _ := t.cdf.LoadOrStore(g, &cdfTable{})
+	ct := e.(*cdfTable)
+	ct.once.Do(func() {
+		t.builds.Add(1)
+		cum := make([]float32, len(g.Weights))
+		n := g.NumVertices()
+		for v := 0; v < n; v++ {
+			lo, hi := g.RowPtr[v], g.RowPtr[v+1]
+			var run float32
+			for i := lo; i < hi; i++ {
+				run += g.Weights[i]
+				cum[i] = run
+			}
 		}
-		row := NewAliasTable(g.Weights[lo:hi])
-		copy(fa.prob[lo:hi], row.prob)
-		copy(fa.alias[lo:hi], row.alias)
-	}
-	t.alias[g] = fa
-	return fa
+		ct.cum = cum
+	})
+	return ct.cum
+}
+
+// aliases returns (building exactly once if needed) per-row alias tables
+// for g.
+func (t *weightTables) aliases(g *graph.CSR) *flatAlias {
+	e, _ := t.alias.LoadOrStore(g, &aliasTable{})
+	at := e.(*aliasTable)
+	at.once.Do(func() {
+		t.builds.Add(1)
+		fa := &flatAlias{
+			prob:  make([]float32, len(g.Weights)),
+			alias: make([]int32, len(g.Weights)),
+		}
+		n := g.NumVertices()
+		for v := 0; v < n; v++ {
+			lo, hi := g.RowPtr[v], g.RowPtr[v+1]
+			if lo == hi {
+				continue
+			}
+			row := NewAliasTable(g.Weights[lo:hi])
+			copy(fa.prob[lo:hi], row.prob)
+			copy(fa.alias[lo:hi], row.alias)
+		}
+		at.fa = fa
+	})
+	return at.fa
 }
 
 // Sample implements Algorithm.

@@ -215,17 +215,22 @@ func TestParallelTrainersConverge(t *testing.T) {
 }
 
 // panicSampler implements sampling.Algorithm and panics on a chosen batch,
-// standing in for a buggy user-defined sampling scheme (§5.1).
+// standing in for a buggy user-defined sampling scheme (§5.1). Clones get
+// their own inner sampler (scratch state) but share the call counter, so
+// the Nth Sample overall still panics whichever worker issues it.
 type panicSampler struct {
 	inner   sampling.Algorithm
-	calls   int32
+	calls   *int32
 	panicAt int32
 }
 
 func (p *panicSampler) Name() string { return "panic-sampler" }
 func (p *panicSampler) NumHops() int { return p.inner.NumHops() }
+func (p *panicSampler) Clone() sampling.Algorithm {
+	return &panicSampler{inner: sampling.CloneAlgorithm(p.inner), calls: p.calls, panicAt: p.panicAt}
+}
 func (p *panicSampler) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *sampling.Sample {
-	if atomic.AddInt32(&p.calls, 1) == p.panicAt {
+	if atomic.AddInt32(p.calls, 1) == p.panicAt {
 		panic("injected sampler failure")
 	}
 	return p.inner.Sample(g, seeds, r)
@@ -233,7 +238,7 @@ func (p *panicSampler) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *samplin
 
 func TestSamplerPanicSurfacesAsError(t *testing.T) {
 	d := convDataset(t)
-	alg := &panicSampler{inner: sampling.NewKHop([]int{5, 3}, sampling.FisherYates), panicAt: 3}
+	alg := &panicSampler{inner: sampling.NewKHop([]int{5, 3}, sampling.FisherYates), calls: new(int32), panicAt: 3}
 	batches := sampling.Batches(d.TrainSet, 64, rng.New(3))
 	opts := Options{Seed: 11, BatchSize: 64, NumSamplers: 3}.withDefaults()
 	stream := produceSamples(d, alg, batches, opts, 0)

@@ -112,6 +112,9 @@ func Train(d *gen.Dataset, opts Options) (*Result, error) {
 	}
 	spec := workload.Spec{Kind: opts.Model, HiddenDim: opts.HiddenDim, BatchSize: opts.BatchSize}
 	alg := spec.NewSampler()
+	// Build any per-graph sampler tables once, before sampler goroutines
+	// clone alg and race to lazily construct them.
+	sampling.Prepare(alg, d.Graph)
 	model := nn.NewModel(opts.Model, spec.NumLayers(), d.FeatureDim, opts.HiddenDim, d.NumClasses, opts.Seed)
 	opt := tensor.NewAdam(opts.LR, model.Params())
 

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Full verification gate: static checks, the whole test suite under the
+# race detector (the measurement engine's worker pool is on by default, so
+# every run exercises real concurrency), and a one-shot smoke run of the
+# quick benchmark profile. The race detector is ~10-20x slower than a
+# plain run — the explicit -timeout keeps slow single-core machines from
+# tripping go test's 600s default.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race -timeout 3600s ./...
+go test -short -race -timeout 3600s -run xxx -bench=BenchmarkTable1Breakdown -benchtime=1x .
