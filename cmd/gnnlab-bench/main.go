@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"gnnlab/internal/experiments"
+	"gnnlab/internal/measure"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 	epochs := flag.Int("epochs", 3, "measured epochs per configuration")
 	seed := flag.Uint64("seed", 0, "experiment seed (0 = default)")
 	workers := flag.Int("workers", 0, "measurement worker pool size (0 = NumCPU, 1 = serial; results are identical at any setting)")
+	noStore := flag.Bool("nostore", false, "disable the shared measurement store (every cell re-measures; results are identical either way)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	format := flag.String("format", "table", "output format: table or csv")
 	flag.Parse()
@@ -43,6 +45,11 @@ func main() {
 	}
 
 	opts := experiments.Options{Scale: *scale, NumGPUs: *gpus, Epochs: *epochs, Seed: *seed, Workers: *workers}
+	if !*noStore {
+		// One content-keyed store across all experiments: cells sharing
+		// sampling work measure once and replay many times.
+		opts.Store = measure.NewStore()
+	}
 	ids := flag.Args()
 	if len(ids) == 0 {
 		ids = experiments.IDs()
@@ -68,6 +75,10 @@ func main() {
 			fmt.Print(tbl.Render())
 			fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
+	}
+	if opts.Store != nil {
+		hits, misses := opts.Store.Stats()
+		fmt.Fprintf(os.Stderr, "measurement store: %d measured, %d reused\n", misses, hits)
 	}
 	os.Exit(exit)
 }

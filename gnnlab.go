@@ -32,6 +32,7 @@ import (
 	"gnnlab/internal/core"
 	"gnnlab/internal/device"
 	"gnnlab/internal/gen"
+	"gnnlab/internal/measure"
 	"gnnlab/internal/nn"
 	"gnnlab/internal/train"
 	"gnnlab/internal/workload"
@@ -124,8 +125,34 @@ var (
 
 // Simulate runs one system configuration against a dataset: real sampling
 // and cache behaviour, simulated device timing. OOM outcomes are reported
-// in the Report, mirroring the paper's tables.
+// in the Report, mirroring the paper's tables. Simulate is exactly
+// Measure followed by Replay.
 func Simulate(d *Dataset, cfg SystemConfig) (*Report, error) { return core.Run(d, cfg) }
+
+// Measurement is the recorded sampling work of a run — a cost-model-free
+// artifact (per-batch edge counts, input-vertex sets, layer shapes) that
+// Replay can price under any cache policy, cache ratio, GPU count or
+// design sharing the same sampling content.
+type Measurement = measure.Measurement
+
+// MeasurementStore memoizes Measurements (and cache rankings) by content
+// key, so configurations sharing sampling work measure once and replay
+// many times. Attach one via SystemConfig.MeasureStore, or pass it to
+// the experiment harness.
+type MeasurementStore = measure.Store
+
+// NewMeasurementStore returns an empty measurement store.
+func NewMeasurementStore() *MeasurementStore { return measure.NewStore() }
+
+// Measure performs only the Measure layer of a run: the real sampling
+// work of cfg against d. The result feeds Replay.
+func Measure(d *Dataset, cfg SystemConfig) (*Measurement, error) { return core.Measure(d, cfg) }
+
+// Replay prices a recorded measurement under cfg and simulates it. The
+// Report is bit-identical to Simulate(d, cfg) for any cfg whose sampling
+// content matches the measurement — cache policy, cache ratio, feature
+// dimension, GPU count and design may all vary freely.
+func Replay(m *Measurement, cfg SystemConfig) (*Report, error) { return core.Replay(m, cfg) }
 
 // PreprocessCost is the Table 6 preprocessing breakdown.
 type PreprocessCost = core.PreprocessCost

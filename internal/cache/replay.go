@@ -3,35 +3,15 @@ package cache
 import (
 	"gnnlab/internal/graph"
 	"gnnlab/internal/par"
-	"gnnlab/internal/rng"
 	"gnnlab/internal/sampling"
 )
 
-// replayCell is one (epoch, batch) unit of a sampling replay. Its RNG is
-// derived on the coordinating goroutine — epoch-keyed Split, then
-// batch-keyed SplitN — so the sampled stream is a pure function of
-// (seed, epoch, batch), independent of worker count and scheduling.
-type replayCell struct {
-	epoch int
-	seeds []int32
-	r     *rng.Rand
-}
-
 // planReplay derives every epoch's shuffled mini-batches and per-batch RNG
-// streams from seed, serially. This is the (epoch, batch) determinism
-// convention shared with internal/core.Run and internal/train.
-func planReplay(trainSet []int32, batchSize, epochs int, seed uint64) []replayCell {
-	r := rng.New(seed)
-	var cells []replayCell
-	for epoch := 0; epoch < epochs; epoch++ {
-		er := r.Split(uint64(epoch))
-		batches := sampling.Batches(trainSet, batchSize, er)
-		rands := er.SplitN(len(batches))
-		for b, batch := range batches {
-			cells = append(cells, replayCell{epoch: epoch, seeds: batch, r: rands[b]})
-		}
-	}
-	return cells
+// streams from seed, serially — the shared (epoch, batch) determinism
+// convention of sampling.PlanEpochs, also used by internal/measure and
+// internal/train.
+func planReplay(trainSet []int32, batchSize, epochs int, seed uint64) []sampling.EpochCell {
+	return sampling.PlanEpochs(trainSet, batchSize, epochs, seed)
 }
 
 // replaySampling replays `epochs` epochs of the Sample stage across a
@@ -60,7 +40,7 @@ func replaySampling[T any](
 	}
 	par.ForEach(workers, len(cells), func(worker, i int) {
 		c := cells[i]
-		absorb(accs[worker], c.epoch, algs[worker].Sample(g, c.seeds, c.r))
+		absorb(accs[worker], c.Epoch, algs[worker].Sample(g, c.Seeds, c.R))
 	})
 	return accs
 }

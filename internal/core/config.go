@@ -23,43 +23,14 @@ import (
 
 	"gnnlab/internal/cache"
 	"gnnlab/internal/device"
+	"gnnlab/internal/measure"
 	"gnnlab/internal/workload"
 )
-
-// Design selects the system architecture.
-type Design int
-
-const (
-	// DesignGNNLab is the factored space-sharing design (§4–5).
-	DesignGNNLab Design = iota
-	// DesignTimeSharing runs all stages on every GPU (DGL, T_SOTA).
-	DesignTimeSharing
-	// DesignCPUSampling samples on host CPUs (PyG).
-	DesignCPUSampling
-	// DesignBatchMode flips all GPUs between roles once per epoch (AGL).
-	DesignBatchMode
-)
-
-// String returns the design name.
-func (d Design) String() string {
-	switch d {
-	case DesignGNNLab:
-		return "space-sharing"
-	case DesignTimeSharing:
-		return "time-sharing"
-	case DesignCPUSampling:
-		return "cpu-sampling"
-	case DesignBatchMode:
-		return "batch-mode"
-	default:
-		return fmt.Sprintf("Design(%d)", int(d))
-	}
-}
 
 // Config fully describes a system under test.
 type Config struct {
 	Name   string
-	Design Design
+	Design DesignKind
 
 	NumGPUs   int
 	GPUMemory int64
@@ -122,6 +93,13 @@ type Config struct {
 	// 1 = the serial path. Per-batch RNG streams are keyed by
 	// (epoch, batch), so Reports are bit-identical at any worker count.
 	MeasureWorkers int
+
+	// MeasureStore, when non-nil, memoizes measurements and cache
+	// rankings by content key: runs whose sampling work is identical
+	// (same dataset, effective sampler, batch size, seed, epochs)
+	// measure once and replay many times. Reports are bit-identical
+	// with or without a store.
+	MeasureStore *measure.Store
 
 	// MemScale divides the calibrated fixed memory footprints (runtime
 	// reserve, sampling and training workspaces). The footprints are

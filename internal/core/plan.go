@@ -43,103 +43,88 @@ func topologyBytes(cfg Config, d *gen.Dataset) int64 {
 	return b
 }
 
+// planContext carries the run-wide inputs of memory planning into a
+// Design's PlanMemory method: the scaled footprints and the ledger-backed
+// fit helper.
+type planContext struct {
+	cfg      Config
+	capBytes int64
+	topo     int64
+	sampleWS int64
+	trainWS  int64
+	reserve  int64
+	vfb      int64
+	n        int
+}
+
+// base returns the empty plan every design starts from.
+func (pc planContext) base() memPlan {
+	return memPlan{topoBytes: pc.topo, standbySlots: -1, samplerPartitions: 1}
+}
+
+// part is one labelled allocation of a fit. Parts allocate in slice
+// order, so an OOM error deterministically names the first part that
+// does not fit (a map here would make Run's and Replay's OOM reasons
+// diverge at random).
+type part struct {
+	label string
+	bytes int64
+}
+
+// fit allocates the labelled parts, in order, on a fresh device ledger
+// and returns the bytes left over, or the OOM error. All accounting goes
+// through the real device ledger, so OOM outcomes come from the same
+// allocation machinery the Figure 3 breakdown uses.
+func (pc planContext) fit(role string, parts ...part) (int64, error) {
+	gpu := device.NewGPU(0, pc.capBytes)
+	for _, p := range parts {
+		if err := gpu.Alloc(p.label, p.bytes); err != nil {
+			return 0, fmt.Errorf("system: %s: %s: %w", pc.cfg.Name, role, err)
+		}
+	}
+	return gpu.Available(), nil
+}
+
+// slots converts a free-byte budget into cache slots, honoring the
+// cache-ratio override.
+func (pc planContext) slots(freeBytes int64) int {
+	return slotsForPlan(pc.cfg, freeBytes, pc.vfb, pc.n)
+}
+
 // planMemory performs the design-specific GPU memory accounting and
 // returns the resulting cache budget, or an OOM error mirroring the
-// paper's OOM cells. ledger, when non-nil, receives the breakdown for
-// Figure 3.
+// paper's OOM cells. The design-specific arms live in each Design's
+// PlanMemory method; this wrapper computes the shared scaled footprints
+// and applies the cache-enabled gate.
 func planMemory(cfg Config, d *gen.Dataset, vertexFeatureBytes int64) memPlan {
-	cost := cfg.Cost
-	capBytes := cfg.GPUMemory
 	topo := topologyBytes(cfg, d)
+	sampleWS := int64(float64(cfg.Workload.SampleWorkspaceBytes()) * cfg.SampleWSMultiplier / cfg.MemScale)
 	if !cfg.Sampler.OnGPU() {
 		// CPU sampling keeps the topology in host memory; nothing to
 		// load on the GPU and no GPU-side sampling workspace.
 		topo = 0
-	}
-	sampleWS := int64(float64(cfg.Workload.SampleWorkspaceBytes()) * cfg.SampleWSMultiplier / cfg.MemScale)
-	if !cfg.Sampler.OnGPU() {
 		sampleWS = 0
 	}
-	trainWS := int64(float64(cfg.Workload.TrainWorkspaceBytes()) / cfg.MemScale)
-	reserve := int64(float64(cost.RuntimeReserveBytes) / cfg.MemScale)
-	n := d.NumVertices()
-
-	plan := memPlan{topoBytes: topo, standbySlots: -1, samplerPartitions: 1}
-
-	// All accounting goes through the real device ledger, so OOM outcomes
-	// come from the same allocation machinery the Figure 3 breakdown uses.
-	fit := func(role string, parts map[string]int64) (int64, error) {
-		gpu := device.NewGPU(0, capBytes)
-		for label, bytes := range parts {
-			if err := gpu.Alloc(label, bytes); err != nil {
-				return 0, fmt.Errorf("system: %s: %s: %w", cfg.Name, role, err)
-			}
-		}
-		return gpu.Available(), nil
+	pc := planContext{
+		cfg:      cfg,
+		capBytes: cfg.GPUMemory,
+		topo:     topo,
+		sampleWS: sampleWS,
+		trainWS:  int64(float64(cfg.Workload.TrainWorkspaceBytes()) / cfg.MemScale),
+		reserve:  int64(float64(cfg.Cost.RuntimeReserveBytes) / cfg.MemScale),
+		vfb:      vertexFeatureBytes,
+		n:        d.NumVertices(),
 	}
 
-	switch cfg.Design {
-	case DesignGNNLab:
-		if _, err := fit("sampler GPU", map[string]int64{
-			"reserve": reserve, "topology": topo, "sample-ws": sampleWS,
-		}); err != nil {
-			avail := capBytes - reserve - sampleWS
-			if !cfg.PartitionedSampling || avail <= 0 {
-				plan.err = err
-				return plan
-			}
-			plan.samplerPartitions = int((topo + avail - 1) / avail)
-		}
-		trainerFree, err := fit("trainer GPU", map[string]int64{
-			"reserve": reserve, "train-ws": trainWS,
-		})
-		if err != nil {
-			plan.err = err
-			return plan
-		}
-		plan.cacheSlots = slotsForPlan(cfg, trainerFree, vertexFeatureBytes, n)
-		standbyFree := capBytes - reserve - topo - sampleWS - trainWS
-		if standbyFree >= 0 {
-			plan.standbySlots = cache.SlotsFor(standbyFree, vertexFeatureBytes, n)
-		}
-
-	case DesignTimeSharing:
-		free, err := fit("GPU", map[string]int64{
-			"reserve": reserve, "topology": topo, "sample-ws": sampleWS, "train-ws": trainWS,
-		})
-		if err != nil {
-			plan.err = err
-			return plan
-		}
-		plan.cacheSlots = slotsForPlan(cfg, free, vertexFeatureBytes, n)
-
-	case DesignCPUSampling:
-		if _, err := fit("GPU", map[string]int64{
-			"reserve": reserve, "train-ws": trainWS,
-		}); err != nil {
-			plan.err = err
-			return plan
-		}
-		plan.cacheSlots = 0 // PyG has no feature cache
-
-	case DesignBatchMode:
-		if _, err := fit("sampling phase", map[string]int64{
-			"reserve": reserve, "topology": topo, "sample-ws": sampleWS,
-		}); err != nil {
-			plan.err = err
-			return plan
-		}
-		trainFree, err := fit("training phase", map[string]int64{
-			"reserve": reserve, "train-ws": trainWS,
-		})
-		if err != nil {
-			plan.err = err
-			return plan
-		}
-		plan.cacheSlots = slotsForPlan(cfg, trainFree, vertexFeatureBytes, n)
-
-	default:
-		plan.err = fmt.Errorf("system: %s: unknown design %v", cfg.Name, cfg.Design)
+	design, err := designFor(cfg.Design)
+	if err != nil {
+		plan := pc.base()
+		plan.err = err
+		return plan
+	}
+	plan := design.PlanMemory(pc)
+	if plan.err != nil {
+		return plan
 	}
 
 	if !cfg.CacheEnabled {
@@ -180,10 +165,10 @@ func LedgerFor(cfg Config, d *gen.Dataset) (sampler, trainer []device.Allocation
 	sampleWS := int64(float64(cfg.Workload.SampleWorkspaceBytes()) * cfg.SampleWSMultiplier / cfg.MemScale)
 	reserveB := int64(float64(cfg.Cost.RuntimeReserveBytes) / cfg.MemScale)
 	trainWSB := int64(float64(cfg.Workload.TrainWorkspaceBytes()) / cfg.MemScale)
-	mkGPU := func(parts map[string]int64) ([]device.Allocation, error) {
+	mkGPU := func(parts ...part) ([]device.Allocation, error) {
 		g := device.NewGPU(0, cfg.GPUMemory)
-		for label, b := range parts {
-			if err := g.Alloc(label, b); err != nil {
+		for _, p := range parts {
+			if err := g.Alloc(p.label, p.bytes); err != nil {
 				return nil, err
 			}
 		}
@@ -191,27 +176,27 @@ func LedgerFor(cfg Config, d *gen.Dataset) (sampler, trainer []device.Allocation
 	}
 	switch cfg.Design {
 	case DesignGNNLab:
-		sampler, err = mkGPU(map[string]int64{
-			"reserve": reserveB, "topology": plan.topoBytes, "sample-ws": sampleWS,
-		})
+		sampler, err = mkGPU(
+			part{"reserve", reserveB}, part{"topology", plan.topoBytes}, part{"sample-ws", sampleWS},
+		)
 		if err != nil {
 			return nil, nil, err
 		}
-		trainer, err = mkGPU(map[string]int64{
-			"reserve": reserveB, "train-ws": trainWSB, "feature-cache": plan.cacheBytes,
-		})
+		trainer, err = mkGPU(
+			part{"reserve", reserveB}, part{"train-ws", trainWSB}, part{"feature-cache", plan.cacheBytes},
+		)
 		return sampler, trainer, err
 	case DesignCPUSampling:
-		shared, err := mkGPU(map[string]int64{
-			"reserve": reserveB, "train-ws": trainWSB,
-		})
+		shared, err := mkGPU(
+			part{"reserve", reserveB}, part{"train-ws", trainWSB},
+		)
 		return shared, shared, err
 	default:
-		shared, err := mkGPU(map[string]int64{
-			"reserve": reserveB, "topology": plan.topoBytes,
-			"sample-ws": sampleWS, "train-ws": trainWSB,
-			"feature-cache": plan.cacheBytes,
-		})
+		shared, err := mkGPU(
+			part{"reserve", reserveB}, part{"topology", plan.topoBytes},
+			part{"sample-ws", sampleWS}, part{"train-ws", trainWSB},
+			part{"feature-cache", plan.cacheBytes},
+		)
 		return shared, shared, err
 	}
 }

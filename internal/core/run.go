@@ -7,6 +7,7 @@ import (
 	"gnnlab/internal/cache"
 	"gnnlab/internal/device"
 	"gnnlab/internal/gen"
+	"gnnlab/internal/measure"
 	"gnnlab/internal/par"
 	"gnnlab/internal/rng"
 	"gnnlab/internal/sampling"
@@ -73,9 +74,9 @@ func (r *Report) String() string {
 		r.ExtractTot, 100*r.CacheRatio, 100*r.HitRate, r.TrainTot)
 }
 
-// batchWork is the real measured work of one mini-batch, gathered before
-// durations are assigned (so the flexible scheduler can re-cost the same
-// work under any allocation).
+// batchWork is the real measured work of one mini-batch, priced against
+// one configuration's cache tables and feature dimension (so the
+// flexible scheduler can re-cost the same work under any allocation).
 type batchWork struct {
 	sampledEdges int64
 	scannedEdges int64
@@ -91,46 +92,154 @@ type batchWork struct {
 // runner carries the run-wide constants the duration helpers need.
 type runner struct {
 	cfg Config
+	dim int   // feature dimension in effect
 	vfb int64 // per-vertex feature bytes in effect
 }
 
-// Run executes cfg against dataset d and returns the measured report.
-// OOM is reported in the Report (not as an error), mirroring the paper's
-// OOM table cells; errors indicate invalid configurations.
+func newRunner(d *gen.Dataset, cfg Config) runner {
+	dim := d.FeatureDim
+	if cfg.FeatureDimOverride > 0 {
+		dim = cfg.FeatureDimOverride
+	}
+	return runner{cfg: cfg, dim: dim, vfb: int64(dim) * 4}
+}
+
+func (rn runner) newReport(d *gen.Dataset) *Report {
+	return &Report{
+		System:   rn.cfg.Name,
+		Workload: rn.cfg.Workload.Name(),
+		Dataset:  d.Name,
+		NumGPUs:  rn.cfg.NumGPUs,
+		Epochs:   rn.cfg.Epochs,
+		Batches:  sampling.NumBatches(len(d.TrainSet), rn.cfg.Workload.BatchSize),
+	}
+}
+
+// Run executes cfg against dataset d and returns the measured report:
+// Measure (sample the real graph), Cost (price the work under cfg's
+// design and cache), Simulate (run the event engine). OOM is reported
+// in the Report (not as an error), mirroring the paper's OOM table
+// cells; errors indicate invalid configurations.
+//
+// Run is exactly Measure followed by Replay; callers that probe many
+// configurations over the same sampling work should use those (with a
+// Config.MeasureStore) to measure once.
 func Run(d *gen.Dataset, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	dim := d.FeatureDim
-	if cfg.FeatureDimOverride > 0 {
-		dim = cfg.FeatureDimOverride
+	design, err := designFor(cfg.Design)
+	if err != nil {
+		return nil, err
 	}
-	rn := runner{cfg: cfg, vfb: int64(dim) * 4}
-
-	rep := &Report{
-		System:   cfg.Name,
-		Workload: cfg.Workload.Name(),
-		Dataset:  d.Name,
-		NumGPUs:  cfg.NumGPUs,
-		Epochs:   cfg.Epochs,
-		Batches:  sampling.NumBatches(len(d.TrainSet), cfg.Workload.BatchSize),
-	}
-
+	rn := newRunner(d, cfg)
+	rep := rn.newReport(d)
 	plan := planMemory(cfg, d, rn.vfb)
+	if oomPreflight(rep, design, cfg, plan) {
+		return rep, nil
+	}
+	return rn.replay(design, rep, plan, measureFor(d, cfg))
+}
+
+// Measure performs the Measure layer only: the real sampling work of cfg
+// against d, recorded as a cost-model-free measurement that Replay can
+// price under any design, cache policy, cache ratio or GPU count that
+// shares the same sampling content (see measure.Spec). With a
+// Config.MeasureStore it is memoized by content key.
+func Measure(d *gen.Dataset, cfg Config) (*measure.Measurement, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return measureFor(d, cfg), nil
+}
+
+// Replay prices a recorded measurement under cfg and simulates it,
+// producing a Report bit-identical to Run(m.Dataset, cfg). It errors if
+// the measurement's content key does not match what cfg would measure.
+func Replay(m *measure.Measurement, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if m == nil || m.Dataset == nil {
+		return nil, errors.New("system: Replay needs a measurement with its dataset attached")
+	}
+	if want := measureSpec(m.Dataset, cfg); m.Spec != want {
+		return nil, fmt.Errorf("system: measurement key mismatch: measured %+v, config needs %+v", m.Spec, want)
+	}
+	design, err := designFor(cfg.Design)
+	if err != nil {
+		return nil, err
+	}
+	rn := newRunner(m.Dataset, cfg)
+	rep := rn.newReport(m.Dataset)
+	plan := planMemory(cfg, m.Dataset, rn.vfb)
+	if oomPreflight(rep, design, cfg, plan) {
+		return rep, nil
+	}
+	return rn.replay(design, rep, plan, m)
+}
+
+// oomPreflight fills rep with any pre-measurement OOM outcome (memory
+// plan failure or design preflight) and reports whether the run is over.
+func oomPreflight(rep *Report, design Design, cfg Config, plan memPlan) bool {
 	if plan.err != nil {
 		rep.OOM = true
 		rep.OOMReason = plan.err.Error()
-		return rep, nil
+		return true
 	}
-	if cfg.Design == DesignGNNLab && cfg.NumGPUs == 1 && plan.standbySlots < 0 {
+	if reason := design.Preflight(cfg, plan); reason != "" {
 		rep.OOM = true
-		rep.OOMReason = "single GPU cannot hold topology and training workspace together"
-		return rep, nil
+		rep.OOMReason = reason
+		return true
 	}
+	return false
+}
+
+// effectiveAlgorithm returns the sampling algorithm a configuration
+// actually measures with. When the system uses the reservoir sampler
+// (DGL), measure with it so the scanned adjacency-entry counts — its
+// cost basis — are real; the sampled distribution is equivalent.
+func effectiveAlgorithm(cfg Config) sampling.Algorithm {
+	alg := sampling.CloneAlgorithm(cfg.Workload.NewSampler())
+	if cfg.Sampler == device.SamplerGPUReservoir {
+		if kh, ok := alg.(*sampling.KHop); ok {
+			alg = sampling.NewKHop(kh.Fanouts, sampling.Reservoir)
+		}
+	}
+	return alg
+}
+
+// measureSpec is the content key of cfg's sampling work on d.
+func measureSpec(d *gen.Dataset, cfg Config) measure.Spec {
+	return measure.SpecFor(d, effectiveAlgorithm(cfg), cfg.Workload.BatchSize, cfg.Epochs, cfg.Seed)
+}
+
+// measureFor collects (or fetches from the configured store) the
+// measurement for cfg's sampling work on d.
+func measureFor(d *gen.Dataset, cfg Config) *measure.Measurement {
+	alg := effectiveAlgorithm(cfg)
+	spec := measure.SpecFor(d, alg, cfg.Workload.BatchSize, cfg.Epochs, cfg.Seed)
+	collect := func() *measure.Measurement {
+		return measure.Collect(d, spec, alg, cfg.MeasureWorkers)
+	}
+	if cfg.MeasureStore != nil {
+		return cfg.MeasureStore.GetOrMeasure(spec, collect)
+	}
+	return collect()
+}
+
+// replay is the Cost and Simulate layers: probe the measured input sets
+// against this configuration's cache tables, have the design price every
+// epoch, and run the event engine.
+func (rn runner) replay(design Design, rep *Report, plan memPlan, m *measure.Measurement) (*Report, error) {
+	cfg := rn.cfg
+	d := m.Dataset
+	n := d.NumVertices()
 
 	// Build the cache table from the configured policy.
-	n := d.NumVertices()
 	var table, standbyTable *cache.Table
 	var err error
 	if plan.cacheSlots > 0 || plan.standbySlots > 0 {
@@ -159,105 +268,137 @@ func Run(d *gen.Dataset, cfg Config) (*Report, error) {
 	}
 	rep.CacheRatio = table.Ratio()
 
-	// Measure the real sampling work of every epoch. When the system
-	// uses the reservoir sampler (DGL), measure with it so the scanned
-	// adjacency-entry counts — its cost basis — are real; the sampled
-	// distribution is equivalent.
-	alg := sampling.CloneAlgorithm(cfg.Workload.NewSampler())
-	if cfg.Sampler == device.SamplerGPUReservoir {
-		if kh, ok := alg.(*sampling.KHop); ok {
-			alg = sampling.NewKHop(kh.Fanouts, sampling.Reservoir)
-		}
-	}
-	// Plan every (epoch, batch) cell serially — shuffles and per-batch RNG
-	// streams are derived on this goroutine, keyed by (epoch, batch) — then
-	// fan the sampling+extract work across the measurement worker pool.
-	// Each cell writes only its own pre-sized slot, and hit/miss counters
-	// are commutative atomic sums, so the Report is bit-identical at any
-	// MeasureWorkers setting.
-	sampling.Prepare(alg, d.Graph)
-	type cell struct {
-		epoch, batch int
-		seeds        []int32
-		r            *rng.Rand
-	}
-	r := rng.New(cfg.Seed)
-	epochs := make([][]batchWork, cfg.Epochs)
-	var cells []cell
-	for e := 0; e < cfg.Epochs; e++ {
-		er := r.Split(uint64(e))
-		batches := sampling.Batches(d.TrainSet, cfg.Workload.BatchSize, er)
-		rands := er.SplitN(len(batches))
+	// Probe the measurement against this configuration's cache tables and
+	// price the FLOPs at the feature dimension in effect. Each cell writes
+	// only its own pre-sized slot, and hit/miss counters are commutative
+	// atomic sums, so the Report is bit-identical at any MeasureWorkers
+	// setting.
+	type cellRef struct{ epoch, batch int }
+	epochs := make([][]batchWork, len(m.Epochs))
+	cells := make([]cellRef, 0, len(m.Epochs)*m.NumBatches())
+	for e, batches := range m.Epochs {
 		epochs[e] = make([]batchWork, len(batches))
-		for b, batch := range batches {
-			cells = append(cells, cell{epoch: e, batch: b, seeds: batch, r: rands[b]})
+		for b := range batches {
+			cells = append(cells, cellRef{epoch: e, batch: b})
 		}
 	}
-	workers := par.Workers(cfg.MeasureWorkers)
-	if workers > len(cells) && len(cells) > 0 {
-		workers = len(cells)
-	}
-	algs := make([]sampling.Algorithm, workers)
-	for i := range algs {
-		algs[i] = sampling.CloneAlgorithm(alg)
-	}
-	par.ForEach(cfg.MeasureWorkers, len(cells), func(worker, i int) {
+	par.ForEach(cfg.MeasureWorkers, len(cells), func(_, i int) {
 		c := cells[i]
-		s := algs[worker].Sample(d.Graph, c.seeds, c.r)
+		mb := &m.Epochs[c.epoch][c.batch]
 		w := batchWork{
-			sampledEdges: s.SampledEdges,
-			scannedEdges: s.ScannedEdges,
-			walks:        s.Walks,
-			numInput:     s.NumInput(),
-			sampleBytes:  s.Bytes(),
-			flops:        cfg.Workload.TrainFLOPs(s, dim),
+			sampledEdges: mb.SampledEdges,
+			scannedEdges: mb.ScannedEdges,
+			walks:        mb.Walks,
+			numInput:     len(mb.Input),
+			sampleBytes:  mb.SampleBytes,
+			flops:        cfg.Workload.FLOPsFor(mb.Layers, rn.dim),
 		}
-		w.hits, w.misses = table.Extract(s.Input)
+		w.hits, w.misses = table.Extract(mb.Input)
 		if standbyTable != nil {
-			w.standbyHits, w.standbyMiss = standbyTable.Probe(s.Input)
+			w.standbyHits, w.standbyMiss = standbyTable.Probe(mb.Input)
 		}
 		epochs[c.epoch][c.batch] = w
 	})
 	stats := table.Stats()
 	rep.HitRate = stats.HitRate()
 	rep.TransferredBytes = stats.MissBytes / int64(cfg.Epochs)
-
 	rep.SamplerPartitions = plan.samplerPartitions
-	switch cfg.Design {
-	case DesignGNNLab:
-		return rn.runGNNLab(rep, plan, epochs, standbyTable != nil)
-	case DesignTimeSharing:
-		return rn.runTimeSharing(rep, epochs)
-	case DesignCPUSampling:
-		return rn.runCPUSampling(rep, epochs)
-	case DesignBatchMode:
-		return rn.runBatchMode(rep, plan, epochs)
-	default:
-		return nil, fmt.Errorf("system: unknown design %v", cfg.Design)
+
+	// Cost: the design prices each epoch; Simulate: the engine runs it.
+	state, oom := design.Plan(&rn, rep, plan, epochs, standbyTable != nil)
+	if oom != "" {
+		rep.OOM = true
+		rep.OOMReason = oom
+		return rep, nil
 	}
+	var tot stageTotals
+	var makespans float64
+	for _, work := range epochs {
+		makespans += rn.simulateEpoch(rep, design.CostEpoch(&rn, rep, state, work, &tot))
+	}
+	rn.finishAverages(rep, makespans, tot)
+	return rep, nil
 }
 
 // buildRanking produces the cache ranking for the configured policy and
-// the pre-sampling cost when the policy is PreSC.
+// the pre-sampling cost when the policy is PreSC. With a MeasureStore
+// the ranking is memoized by content key; PreSC's pre-sampling *time*
+// depends on the configuration's cost model and sampler kind, so it is
+// always priced per call from the (memoized) edge counts.
 func buildRanking(cfg Config, d *gen.Dataset) ([]int32, float64, error) {
+	rankKey, ok := rankKeyFor(cfg, d)
+	if !ok {
+		return nil, 0, fmt.Errorf("system: unknown cache policy %v", cfg.CachePolicy)
+	}
+	rank := func() measure.Ranking { return computeRanking(cfg, d) }
+	var r measure.Ranking
+	if cfg.MeasureStore != nil {
+		r = cfg.MeasureStore.GetOrRank(rankKey, rank)
+	} else {
+		r = rank()
+	}
+	var preTime float64
+	if cfg.CachePolicy == cache.PolicyPreSC {
+		s := &sampling.Sample{SampledEdges: r.SampledEdges, ScannedEdges: r.ScannedEdges}
+		preTime = cfg.Cost.SampleTime(s, cfg.Sampler, cfg.Workload.NumLayers())
+	}
+	return r.Order, preTime, nil
+}
+
+// rankKeyFor builds the content key of cfg's cache-ranking computation;
+// ok is false for unknown policies.
+func rankKeyFor(cfg Config, d *gen.Dataset) (measure.RankKey, bool) {
+	key := measure.RankKey{
+		Dataset:  d.Name,
+		Vertices: d.NumVertices(),
+		Edges:    d.Graph.NumEdges(),
+	}
+	switch cfg.CachePolicy {
+	case cache.PolicyDegree:
+		key.Policy = "degree"
+	case cache.PolicyRandom:
+		key.Policy = "random"
+		key.Seed = cfg.Seed
+	case cache.PolicyPreSC:
+		key.Policy = "presc"
+		key.Algorithm = sampling.Fingerprint(cfg.Workload.NewSampler())
+		key.BatchSize = cfg.Workload.BatchSize
+		key.K = cfg.PreSCK
+		key.Seed = cfg.Seed
+	case cache.PolicyOptimal:
+		key.Policy = "optimal"
+		key.Algorithm = sampling.Fingerprint(cfg.Workload.NewSampler())
+		key.BatchSize = cfg.Workload.BatchSize
+		key.Epochs = cfg.Epochs
+		key.Seed = cfg.Seed
+	default:
+		return measure.RankKey{}, false
+	}
+	return key, true
+}
+
+// computeRanking runs the configured policy's ranking computation.
+func computeRanking(cfg Config, d *gen.Dataset) measure.Ranking {
 	g := d.Graph
 	switch cfg.CachePolicy {
 	case cache.PolicyDegree:
-		return cache.DegreeHotness(g).Rank(), 0, nil
+		return measure.Ranking{Order: cache.DegreeHotness(g).Rank()}
 	case cache.PolicyRandom:
-		return cache.RandomHotness(g.NumVertices(), rng.New(cfg.Seed^0x5EED)).Rank(), 0, nil
+		return measure.Ranking{Order: cache.RandomHotness(g.NumVertices(), rng.New(cfg.Seed^0x5EED)).Rank()}
 	case cache.PolicyPreSC:
 		res := cache.PreSCN(g, cfg.Workload.NewSampler(), d.TrainSet, cfg.Workload.BatchSize, cfg.PreSCK, cfg.Seed^0x12345, cfg.MeasureWorkers)
-		s := &sampling.Sample{SampledEdges: res.SampledEdges, ScannedEdges: res.ScannedEdges}
-		t := cfg.Cost.SampleTime(s, cfg.Sampler, cfg.Workload.NumLayers())
-		return res.Hotness.Rank(), t, nil
+		return measure.Ranking{
+			Order:        res.Hotness.Rank(),
+			SampledEdges: res.SampledEdges,
+			ScannedEdges: res.ScannedEdges,
+		}
 	case cache.PolicyOptimal:
 		// The oracle sees the measured run itself: identical seed and
 		// epoch count reproduce the exact footprint (§3 footnote 4).
 		fp := cache.CollectFootprintN(g, cfg.Workload.NewSampler(), d.TrainSet, cfg.Workload.BatchSize, cfg.Epochs, cfg.Seed, cfg.MeasureWorkers)
-		return fp.OptimalHotness().Rank(), 0, nil
+		return measure.Ranking{Order: fp.OptimalHotness().Rank()}
 	default:
-		return nil, 0, fmt.Errorf("system: unknown cache policy %v", cfg.CachePolicy)
+		panic(fmt.Sprintf("system: unknown cache policy %v", cfg.CachePolicy))
 	}
 }
 
@@ -267,12 +408,18 @@ func (rn runner) sampleDuration(w batchWork) float64 {
 	return rn.cfg.Cost.SampleTime(s, rn.cfg.Sampler, rn.cfg.Workload.NumLayers())
 }
 
+// markTime costs the cache-mark extra ("M"): zero when the cache is off.
+// Every design's costing path funnels through this one gate.
+func (rn runner) markTime(w batchWork) float64 {
+	if rn.cfg.CacheEnabled {
+		return rn.cfg.Cost.MarkTime(w.numInput)
+	}
+	return 0
+}
+
 // markAndCopy returns the GNNLab sample-stage extras ("M" and "C").
 func (rn runner) markAndCopy(w batchWork) (mark, copyT float64) {
-	if rn.cfg.CacheEnabled {
-		mark = rn.cfg.Cost.MarkTime(w.numInput)
-	}
-	return mark, rn.cfg.Cost.QueueCopyTime(w.sampleBytes)
+	return rn.markTime(w), rn.cfg.Cost.QueueCopyTime(w.sampleBytes)
 }
 
 // extractOnly costs the Extract stage of one batch.
@@ -293,219 +440,16 @@ func (rn runner) trainerDuration(w batchWork, numTrainers int, standby bool) flo
 	return rn.cfg.Cost.PCIeLoadTime(w.sampleBytes) + rn.extractOnly(w, numTrainers, standby)
 }
 
-// runGNNLab simulates the factored design.
-func (rn runner) runGNNLab(rep *Report, plan memPlan, epochs [][]batchWork, haveStandby bool) (*Report, error) {
-	cfg := rn.cfg
-	// Partitioned sampling (§5.2 future work): each hop of each epoch
-	// cycles every partition through GPU memory once; the reload cost is
-	// amortized over the epoch's mini-batches as extra Sample time.
-	var reloadPerBatch float64
-	if plan.samplerPartitions > 1 {
-		per := cfg.Cost.PCIeLoadTime(plan.topoBytes / int64(plan.samplerPartitions))
-		reloadPerEpoch := float64(plan.samplerPartitions) * per * float64(cfg.Workload.NumLayers())
-		reloadPerBatch = reloadPerEpoch / float64(len(epochs[0]))
-	}
-	// Probe epoch 0 to estimate T_s and T_t for flexible scheduling.
-	var tsSum, ttSum float64
-	probe := epochs[0]
-	for _, w := range probe {
-		mark, copyT := rn.markAndCopy(w)
-		tsSum += rn.sampleDuration(w) + mark + copyT + reloadPerBatch
-		ttSum += rn.trainerDuration(w, 1, false) + cfg.Cost.TrainTime(w.flops)
-	}
-	nb := float64(len(probe))
-	rep.TsAvg, rep.TtAvg = tsSum/nb, ttSum/nb
-
-	alloc := sched.Allocate(cfg.NumGPUs, rep.TsAvg, rep.TtAvg)
-	if cfg.ForceSamplers > 0 {
-		ns := cfg.ForceSamplers
-		if ns > cfg.NumGPUs {
-			ns = cfg.NumGPUs
-		}
-		alloc = sched.Allocation{Samplers: ns, Trainers: cfg.NumGPUs - ns}
-	}
-	rep.Alloc = alloc
-
-	switching := cfg.DynamicSwitching || alloc.Trainers == 0
-	if switching && !haveStandby {
-		if alloc.Trainers == 0 {
-			rep.OOM = true
-			rep.OOMReason = "no trainer GPUs and standby trainer does not fit"
-			return rep, nil
-		}
-		switching = false
-	}
-
-	var makespans, sg, sm, sc, et, tt float64
-	for _, work := range epochs {
-		tasks := make([]sim.Task, len(work))
-		var standbyTaskSum float64
-		for i, w := range work {
-			g := rn.sampleDuration(w) + reloadPerBatch
-			mark, copyT := rn.markAndCopy(w)
-			extr := rn.trainerDuration(w, alloc.Trainers, false)
-			train := cfg.Cost.TrainTime(w.flops)
-			tasks[i] = sim.Task{Sample: g + mark + copyT, Extract: extr, Train: train}
-			if switching {
-				tasks[i].StandbyExtract = rn.trainerDuration(w, alloc.Trainers, true)
-				standbyTaskSum += tasks[i].StandbyExtract + train
-			}
-			sg += g
-			sm += mark
-			sc += copyT
-			et += extr
-			tt += train
-		}
-		opts := sim.ConsumeOptions{
-			NumTrainers:     alloc.Trainers,
-			Sync:            cfg.Sync,
-			Pipelined:       cfg.Pipelined,
-			TrainerTaskTime: rep.TtAvg,
-			Trace:           cfg.Trace && rep.Timeline == nil,
-			TrainerSlowdown: cfg.TrainerSlowdown,
-		}
-		if switching {
-			opts.StandbyAvailable = []float64{} // filled in by RunEpoch
-			opts.StandbyTaskTime = standbyTaskSum / float64(len(work))
-		}
-		res := sim.RunEpoch(tasks, alloc.Samplers, opts)
-		makespans += res.Makespan
-		rep.TasksByStandby += res.TasksByStandby
-		if res.Timeline != nil {
-			rep.Timeline = res.Timeline
-		}
-	}
-	rn.finishAverages(rep, makespans, sg, sm, sc, et, tt)
-	return rep, nil
-}
-
-// runTimeSharing simulates the conventional design (DGL, T_SOTA): every
-// GPU performs Sample→Extract→Train sequentially on its own mini-batches.
-func (rn runner) runTimeSharing(rep *Report, epochs [][]batchWork) (*Report, error) {
-	cfg := rn.cfg
-	var makespans, sg, sm, et, tt float64
-	for _, work := range epochs {
-		tasks := make([]sim.Task, len(work))
-		for i, w := range work {
-			g := rn.sampleDuration(w)
-			var mark float64
-			if cfg.CacheEnabled {
-				mark = cfg.Cost.MarkTime(w.numInput)
-			}
-			extr := rn.extractOnly(w, cfg.NumGPUs, false)
-			train := cfg.Cost.TrainTime(w.flops)
-			// Time sharing serializes S, E and T on one GPU: fold the
-			// pre-train stages into the consumer's Extract slot.
-			tasks[i] = sim.Task{Extract: g + mark + extr, Train: train}
-			sg += g
-			sm += mark
-			et += extr
-			tt += train
-		}
-		res := sim.Consume(tasks, sim.ConsumeOptions{
-			NumTrainers: cfg.NumGPUs,
-			Sync:        cfg.Sync,
-			Pipelined:   cfg.Pipelined,
-			Trace:       cfg.Trace && rep.Timeline == nil,
-		})
-		makespans += res.Makespan
-		if res.Timeline != nil {
-			rep.Timeline = res.Timeline
-		}
-	}
-	rep.Alloc = sched.Allocation{Samplers: 0, Trainers: cfg.NumGPUs}
-	rn.finishAverages(rep, makespans, sg, sm, 0, et, tt)
-	return rep, nil
-}
-
-// runCPUSampling simulates the PyG baseline: host CPU workers sample,
-// GPUs extract (uncached) and train.
-func (rn runner) runCPUSampling(rep *Report, epochs [][]batchWork) (*Report, error) {
-	cfg := rn.cfg
-	var makespans, sg, et, tt float64
-	for _, work := range epochs {
-		tasks := make([]sim.Task, len(work))
-		for i, w := range work {
-			g := rn.sampleDuration(w)
-			extr := rn.extractOnly(w, cfg.NumGPUs, false)
-			train := cfg.Cost.TrainTime(w.flops)
-			tasks[i] = sim.Task{Sample: g, Extract: extr, Train: train}
-			sg += g
-			et += extr
-			tt += train
-		}
-		res := sim.RunEpoch(tasks, cfg.CPUSamplerWorkers, sim.ConsumeOptions{
-			NumTrainers: cfg.NumGPUs,
-			Sync:        cfg.Sync,
-			Pipelined:   cfg.Pipelined,
-			Trace:       cfg.Trace && rep.Timeline == nil,
-		})
-		makespans += res.Makespan
-		if res.Timeline != nil {
-			rep.Timeline = res.Timeline
-		}
-	}
-	rep.Alloc = sched.Allocation{Samplers: 0, Trainers: cfg.NumGPUs}
-	rn.finishAverages(rep, makespans, sg, 0, 0, et, tt)
-	return rep, nil
-}
-
-// runBatchMode simulates the AGL-style design: per epoch, all GPUs load
-// topology and sample everything, then swap to the feature cache and train.
-func (rn runner) runBatchMode(rep *Report, plan memPlan, epochs [][]batchWork) (*Report, error) {
-	cfg := rn.cfg
-	topoLoad := cfg.Cost.PCIeLoadTime(plan.topoBytes)
-	cacheLoad := cfg.Cost.PCIeLoadTime(plan.cacheBytes)
-	var makespans, sg, sm, et, tt float64
-	for _, work := range epochs {
-		tasks := make([]sim.Task, len(work))
-		for i, w := range work {
-			g := rn.sampleDuration(w)
-			var mark float64
-			if cfg.CacheEnabled {
-				mark = cfg.Cost.MarkTime(w.numInput)
-			}
-			tasks[i] = sim.Task{Sample: g + mark}
-			sg += g
-			sm += mark
-		}
-		finish := sim.Produce(tasks, cfg.NumGPUs, topoLoad)
-		var sampleEnd float64
-		for _, f := range finish {
-			if f > sampleEnd {
-				sampleEnd = f
-			}
-		}
-		// Swap phase: topology out, cache in, then consume everything.
-		for i, w := range work {
-			tasks[i].Ready = 0
-			tasks[i].Extract = rn.extractOnly(w, cfg.NumGPUs, false)
-			tasks[i].Train = cfg.Cost.TrainTime(w.flops)
-			et += tasks[i].Extract
-			tt += tasks[i].Train
-		}
-		res := sim.Consume(tasks, sim.ConsumeOptions{
-			NumTrainers: cfg.NumGPUs,
-			Sync:        cfg.Sync,
-			Pipelined:   cfg.Pipelined,
-		})
-		makespans += sampleEnd + cacheLoad + res.Makespan
-	}
-	rep.Alloc = sched.Allocation{Samplers: cfg.NumGPUs, Trainers: cfg.NumGPUs}
-	rn.finishAverages(rep, makespans, sg, sm, 0, et, tt)
-	return rep, nil
-}
-
 // finishAverages divides accumulated sums by the epoch count.
-func (rn runner) finishAverages(rep *Report, makespans, sg, sm, sc, et, tt float64) {
+func (rn runner) finishAverages(rep *Report, makespans float64, tot stageTotals) {
 	n := float64(rn.cfg.Epochs)
 	rep.EpochTime = makespans / n
-	rep.SampleG = sg / n
-	rep.SampleM = sm / n
-	rep.SampleC = sc / n
+	rep.SampleG = tot.g / n
+	rep.SampleM = tot.m / n
+	rep.SampleC = tot.c / n
 	rep.SampleTotal = rep.SampleG + rep.SampleM + rep.SampleC
-	rep.ExtractTot = et / n
-	rep.TrainTot = tt / n
+	rep.ExtractTot = tot.e / n
+	rep.TrainTot = tot.t / n
 }
 
 // IsOOM reports whether err stems from GPU memory exhaustion.

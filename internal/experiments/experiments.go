@@ -13,6 +13,7 @@ import (
 	"gnnlab/internal/core"
 	"gnnlab/internal/device"
 	"gnnlab/internal/gen"
+	"gnnlab/internal/measure"
 	"gnnlab/internal/par"
 	"gnnlab/internal/rng"
 	"gnnlab/internal/workload"
@@ -37,6 +38,13 @@ type Options struct {
 	// setting: cells write into pre-sized slots and the per-cell
 	// measurement engine is itself deterministic.
 	Workers int
+	// Store, when non-nil, is a shared measurement store: experiment
+	// cells whose sampling work has the same content key (dataset,
+	// effective sampler, batch size, seed, epochs) measure once and
+	// replay many times, as do cache-ranking computations. Tables are
+	// bit-identical with or without it; only wall-clock changes.
+	// cmd/gnnlab-bench shares one store across all experiments.
+	Store *measure.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -71,6 +79,7 @@ func (o Options) apply(cfg core.Config) core.Config {
 	cfg.Epochs = o.Epochs
 	cfg.Seed = o.Seed
 	cfg.MeasureWorkers = o.Workers
+	cfg.MeasureStore = o.Store
 	return cfg
 }
 

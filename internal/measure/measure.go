@@ -1,0 +1,128 @@
+// Package measure is the first layer of the Measure→Cost→Simulate
+// pipeline: it performs the real sampling work of a run — every
+// (epoch, batch) mini-batch against the real graph — and records the
+// outcome as a cost-model-free Measurement. A Measurement holds counts,
+// shapes and input-vertex sets only; it knows nothing about device rates,
+// cache tables or system designs, so one Measurement can be replayed
+// under arbitrary cache policies, cache ratios, GPU counts and designs
+// after the fact (internal/core.Replay). The content key (Spec) makes
+// measurements shareable: experiment cells whose sampling work is
+// identical measure once and replay many times via Store.
+package measure
+
+import (
+	"gnnlab/internal/gen"
+	"gnnlab/internal/par"
+	"gnnlab/internal/sampling"
+	"gnnlab/internal/workload"
+)
+
+// Spec is the content key of a measurement: every parameter that changes
+// the sampled stream, and nothing that doesn't. Cache policy, cache
+// ratio, feature dimension, GPU count and the device cost model are all
+// absent by design — they belong to the Cost layer, so sweeps over them
+// reuse one measurement. Algorithm is the sampling.Fingerprint of the
+// *effective* algorithm (after any system-specific substitution, e.g.
+// DGL's reservoir sampler), which is how "workload" and "sampler kind"
+// enter the key.
+type Spec struct {
+	Dataset   string
+	Vertices  int
+	Edges     int64
+	Algorithm string
+	BatchSize int
+	Epochs    int
+	Seed      uint64
+}
+
+// SpecFor builds the content key for sampling dataset d with alg.
+func SpecFor(d *gen.Dataset, alg sampling.Algorithm, batchSize, epochs int, seed uint64) Spec {
+	return Spec{
+		Dataset:   d.Name,
+		Vertices:  d.NumVertices(),
+		Edges:     d.Graph.NumEdges(),
+		Algorithm: sampling.Fingerprint(alg),
+		BatchSize: batchSize,
+		Epochs:    epochs,
+		Seed:      seed,
+	}
+}
+
+// Batch is the measured work of one mini-batch: exactly what the cost
+// layer needs to price it later, with no duration or cache decision
+// baked in.
+type Batch struct {
+	SampledEdges int64
+	ScannedEdges int64
+	Walks        int64
+	// SampleBytes is the in-memory size of the sample task (what crosses
+	// the global queue).
+	SampleBytes int64
+	// Input is the deduplicated global input-vertex set — the feature
+	// rows this batch extracts. Replays probe it against whatever cache
+	// table the configuration under test builds.
+	Input []int32
+	// Layers are the per-layer shapes feeding the FLOP model
+	// (workload.Spec.FLOPsFor), ordered seeds-outward.
+	Layers []workload.LayerDims
+}
+
+// Measurement is the recorded sampling work of a full run: Spec plus one
+// Batch per (epoch, batch) cell, and the dataset it was measured on (the
+// graph is needed again at replay time for cache-ranking policies).
+type Measurement struct {
+	Spec    Spec
+	Dataset *gen.Dataset
+	// Epochs[e][b] is mini-batch b of epoch e.
+	Epochs [][]Batch
+}
+
+// NumBatches returns the per-epoch mini-batch count.
+func (m *Measurement) NumBatches() int {
+	if len(m.Epochs) == 0 {
+		return 0
+	}
+	return len(m.Epochs[0])
+}
+
+// Collect measures dataset d under spec: it plans every (epoch, batch)
+// cell serially — shuffles and per-batch RNG streams derived on the
+// calling goroutine, keyed by (epoch, batch) — then fans the sampling
+// work across at most par.Workers(workers) goroutines. Each cell writes
+// only its own pre-sized slot, so the Measurement is bit-identical at
+// any worker count. alg must match spec.Algorithm; it is cloned per
+// worker and never mutated.
+func Collect(d *gen.Dataset, spec Spec, alg sampling.Algorithm, workers int) *Measurement {
+	sampling.Prepare(alg, d.Graph)
+	cells := sampling.PlanEpochs(d.TrainSet, spec.BatchSize, spec.Epochs, spec.Seed)
+	m := &Measurement{Spec: spec, Dataset: d, Epochs: make([][]Batch, spec.Epochs)}
+	perEpoch := sampling.NumBatches(len(d.TrainSet), spec.BatchSize)
+	for e := range m.Epochs {
+		m.Epochs[e] = make([]Batch, perEpoch)
+	}
+	w := par.Workers(workers)
+	if w > len(cells) && len(cells) > 0 {
+		w = len(cells)
+	}
+	algs := make([]sampling.Algorithm, w)
+	for i := range algs {
+		algs[i] = sampling.CloneAlgorithm(alg)
+	}
+	par.ForEach(workers, len(cells), func(worker, i int) {
+		c := cells[i]
+		s := algs[worker].Sample(d.Graph, c.Seeds, c.R)
+		layers := make([]workload.LayerDims, len(s.Layers))
+		for li, l := range s.Layers {
+			layers[li] = workload.LayerDims{Edges: len(l.Src), Targets: l.NumDst}
+		}
+		m.Epochs[c.Epoch][c.Batch] = Batch{
+			SampledEdges: s.SampledEdges,
+			ScannedEdges: s.ScannedEdges,
+			Walks:        s.Walks,
+			SampleBytes:  s.Bytes(),
+			Input:        s.Input,
+			Layers:       layers,
+		}
+	})
+	return m
+}

@@ -1,0 +1,150 @@
+package measure
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gnnlab/internal/gen"
+	"gnnlab/internal/workload"
+)
+
+func testDataset(t *testing.T) *gen.Dataset {
+	t.Helper()
+	d, err := gen.LoadPresetScaled(gen.PresetPA, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func testSpec(d *gen.Dataset, w workload.Spec, epochs int) (Spec, workload.Spec) {
+	w.BatchSize = workload.DefaultBatchSize / 16
+	alg := w.NewSampler()
+	return SpecFor(d, alg, w.BatchSize, epochs, 42), w
+}
+
+// Collect must be bit-identical at any worker count: cells are planned
+// serially and each writes only its own pre-sized slot.
+func TestCollectDeterministicAcrossWorkers(t *testing.T) {
+	d := testDataset(t)
+	spec, w := testSpec(d, workload.NewSpec(workload.GCN), 2)
+
+	ref := Collect(d, spec, w.NewSampler(), 1)
+	if ref.NumBatches() == 0 {
+		t.Fatal("measurement is empty")
+	}
+	for _, workers := range []int{2, 7} {
+		got := Collect(d, spec, w.NewSampler(), workers)
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("workers=%d: Measurement differs from serial reference", workers)
+		}
+	}
+}
+
+func TestCollectShapes(t *testing.T) {
+	d := testDataset(t)
+	spec, w := testSpec(d, workload.NewSpec(workload.GCN), 3)
+	m := Collect(d, spec, w.NewSampler(), 0)
+
+	if len(m.Epochs) != 3 {
+		t.Fatalf("epochs = %d, want 3", len(m.Epochs))
+	}
+	for e, batches := range m.Epochs {
+		if len(batches) != m.NumBatches() {
+			t.Fatalf("epoch %d has %d batches, want %d", e, len(batches), m.NumBatches())
+		}
+		for b, mb := range batches {
+			if mb.SampledEdges <= 0 || len(mb.Input) == 0 || len(mb.Layers) != w.NumLayers() {
+				t.Fatalf("epoch %d batch %d is degenerate: %+v", e, b, mb)
+			}
+		}
+	}
+	// Different epochs shuffle differently — the measurement must not be
+	// one epoch copied N times.
+	if reflect.DeepEqual(m.Epochs[0], m.Epochs[1]) {
+		t.Error("epochs 0 and 1 are identical; per-epoch shuffling is lost")
+	}
+}
+
+// Concurrent GetOrMeasure calls for one spec must run collect exactly
+// once, with every other request coalescing onto it.
+func TestStoreSingleFlight(t *testing.T) {
+	d := testDataset(t)
+	spec, w := testSpec(d, workload.NewSpec(workload.GCN), 1)
+
+	store := NewStore()
+	var collects atomic.Int64
+	const callers = 8
+	results := make([]*Measurement, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = store.GetOrMeasure(spec, func() *Measurement {
+				collects.Add(1)
+				return Collect(d, spec, w.NewSampler(), 1)
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	if n := collects.Load(); n != 1 {
+		t.Errorf("collect ran %d times, want 1", n)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Errorf("caller %d got a different *Measurement pointer", i)
+		}
+	}
+	hits, misses := store.Stats()
+	if misses != 1 || hits != callers-1 {
+		t.Errorf("stats = (%d hits, %d misses), want (%d, 1)", hits, misses, callers-1)
+	}
+}
+
+// Distinct specs are distinct entries; rankings share the same stats.
+func TestStoreKeysAndRankings(t *testing.T) {
+	d := testDataset(t)
+	specA, w := testSpec(d, workload.NewSpec(workload.GCN), 1)
+	specB := specA
+	specB.Seed++
+
+	store := NewStore()
+	collect := func(spec Spec) func() *Measurement {
+		return func() *Measurement { return Collect(d, spec, w.NewSampler(), 1) }
+	}
+	a1 := store.GetOrMeasure(specA, collect(specA))
+	b1 := store.GetOrMeasure(specB, collect(specB))
+	if a1 == b1 {
+		t.Error("different seeds returned the same measurement")
+	}
+	if a2 := store.GetOrMeasure(specA, collect(specA)); a2 != a1 {
+		t.Error("re-request of specA did not return the stored measurement")
+	}
+
+	key := RankKey{Dataset: d.Name, Policy: "degree"}
+	var ranks atomic.Int64
+	rank := func() Ranking {
+		ranks.Add(1)
+		return Ranking{Order: []int32{3, 1, 2}}
+	}
+	r1 := store.GetOrRank(key, rank)
+	r2 := store.GetOrRank(key, rank)
+	if ranks.Load() != 1 {
+		t.Errorf("rank ran %d times, want 1", ranks.Load())
+	}
+	if !reflect.DeepEqual(r1, r2) || len(r1.Order) != 3 {
+		t.Errorf("ranking mismatch: %+v vs %+v", r1, r2)
+	}
+
+	hits, misses := store.Stats()
+	if misses != 3 { // specA, specB, ranking
+		t.Errorf("misses = %d, want 3", misses)
+	}
+	if hits != 2 { // specA re-request + ranking re-request
+		t.Errorf("hits = %d, want 2", hits)
+	}
+}

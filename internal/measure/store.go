@@ -1,0 +1,110 @@
+package measure
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Store is a content-keyed measurement cache. Experiment cells whose
+// sampling work shares a Spec measure once and replay many times; cells
+// run concurrently, so each entry is produced under a per-key
+// single-flight guard (the second requester blocks until the first
+// finishes, rather than duplicating the work). The store also memoizes
+// cache rankings (RankKey), whose policies replay sampling of their own —
+// PreSC pre-samples the training set, Optimal replays the full run.
+//
+// A Store never invalidates: Specs are content keys, so an entry is
+// valid for as long as the process holds the (memoized) dataset it was
+// measured on.
+type Store struct {
+	mu       sync.Mutex
+	measures map[Spec]*entry[*Measurement]
+	rankings map[RankKey]*entry[Ranking]
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type entry[T any] struct {
+	once sync.Once
+	v    T
+}
+
+// NewStore returns an empty measurement store.
+func NewStore() *Store {
+	return &Store{
+		measures: make(map[Spec]*entry[*Measurement]),
+		rankings: make(map[RankKey]*entry[Ranking]),
+	}
+}
+
+// GetOrMeasure returns the measurement stored under spec, producing it
+// with collect on first request. Concurrent requests for the same spec
+// share one collect call.
+func (s *Store) GetOrMeasure(spec Spec, collect func() *Measurement) *Measurement {
+	s.mu.Lock()
+	e, ok := s.measures[spec]
+	if !ok {
+		e = &entry[*Measurement]{}
+		s.measures[spec] = e
+	}
+	s.mu.Unlock()
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	e.once.Do(func() { e.v = collect() })
+	return e.v
+}
+
+// RankKey is the content key of a cache-ranking computation. Policy
+// parameters that change the ranking are in; the device cost model is
+// out (PreSC's pre-sampling *time* is priced per configuration from the
+// memoized edge counts).
+type RankKey struct {
+	Dataset   string
+	Vertices  int
+	Edges     int64
+	Policy    string
+	Algorithm string
+	BatchSize int
+	K         int
+	Epochs    int
+	Seed      uint64
+}
+
+// Ranking is a memoized cache ranking: the hotness-ordered vertex list
+// plus, for PreSC, the pre-sampling edge counts its cost derives from.
+type Ranking struct {
+	Order        []int32
+	SampledEdges int64
+	ScannedEdges int64
+}
+
+// GetOrRank returns the ranking stored under key, producing it with rank
+// on first request, single-flight like GetOrMeasure. Rankings count
+// toward the same hit/miss statistics.
+func (s *Store) GetOrRank(key RankKey, rank func() Ranking) Ranking {
+	s.mu.Lock()
+	e, ok := s.rankings[key]
+	if !ok {
+		e = &entry[Ranking]{}
+		s.rankings[key] = e
+	}
+	s.mu.Unlock()
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	e.once.Do(func() { e.v = rank() })
+	return e.v
+}
+
+// Stats reports how often the store was consulted: hits are requests
+// served from (or coalesced onto) an existing entry, misses are requests
+// that triggered the work.
+func (s *Store) Stats() (hits, misses int64) {
+	return s.hits.Load(), s.misses.Load()
+}

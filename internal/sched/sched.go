@@ -12,10 +12,33 @@ import (
 type Allocation struct {
 	Samplers int // N_s
 	Trainers int // N_t
+	// Phased marks a phase-alternating allocation (batch mode, AGL): the
+	// *same* GPUs act as Samplers in one phase and Trainers in the next,
+	// rather than two disjoint pools — Samplers + Trainers here would
+	// double-count the machine.
+	Phased bool
 }
 
-// String renders the paper's "mSnT" notation.
-func (a Allocation) String() string { return fmt.Sprintf("%dS%dT", a.Samplers, a.Trainers) }
+// NumGPUs returns the number of physical GPUs the allocation occupies.
+func (a Allocation) NumGPUs() int {
+	if a.Phased {
+		if a.Samplers > a.Trainers {
+			return a.Samplers
+		}
+		return a.Trainers
+	}
+	return a.Samplers + a.Trainers
+}
+
+// String renders the paper's "mSnT" notation; phase-alternating
+// allocations render as "mS<->nT" to make clear the roles time-share the
+// same GPUs.
+func (a Allocation) String() string {
+	if a.Phased {
+		return fmt.Sprintf("%dS<->%dT", a.Samplers, a.Trainers)
+	}
+	return fmt.Sprintf("%dS%dT", a.Samplers, a.Trainers)
+}
 
 // Allocate computes the paper's formula
 //

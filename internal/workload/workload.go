@@ -107,6 +107,15 @@ func (s Spec) NewSampler() sampling.Algorithm {
 	}
 }
 
+// LayerDims is the shape of one sampled bipartite layer — the only
+// sample-dependent inputs the FLOP model needs. A cost-model-free
+// Measurement (internal/measure) records these shapes so the FLOP count
+// can be re-derived later under any feature/hidden dimension.
+type LayerDims struct {
+	Edges   int // sampled edges feeding the layer (len(Layer.Src))
+	Targets int // target vertices the layer updates (Layer.NumDst)
+}
+
 // TrainFLOPs estimates the floating point work of one training iteration
 // on the given sample: for each GNN layer, a neighbor aggregation
 // (2 × edges × dim_in) plus a dense transform (2 × targets × dim_in ×
@@ -114,15 +123,25 @@ func (s Spec) NewSampler() sampling.Algorithm {
 // bipartite layers from the outermost hop inward; layer l's targets are
 // layer l-1's frontier.
 func (s Spec) TrainFLOPs(sample *sampling.Sample, inputDim int) float64 {
+	layers := make([]LayerDims, len(sample.Layers))
+	for i, l := range sample.Layers {
+		layers[i] = LayerDims{Edges: len(l.Src), Targets: l.NumDst}
+	}
+	return s.FLOPsFor(layers, inputDim)
+}
+
+// FLOPsFor is TrainFLOPs over recorded layer shapes (ordered seeds-outward,
+// exactly as Sample.Layers is).
+func (s Spec) FLOPsFor(layers []LayerDims, inputDim int) float64 {
 	const fwdBwd = 3.0 // forward + ~2x backward
 	var flops float64
 	dimIn := float64(inputDim)
 	dimOut := float64(s.HiddenDim)
 	// Outermost sample layer feeds the first GNN layer.
-	for i := len(sample.Layers) - 1; i >= 0; i-- {
-		l := sample.Layers[i]
-		edges := float64(len(l.Src))
-		targets := float64(l.NumDst)
+	for i := len(layers) - 1; i >= 0; i-- {
+		l := layers[i]
+		edges := float64(l.Edges)
+		targets := float64(l.Targets)
 		flops += fwdBwd * (2*edges*dimIn + 2*targets*dimIn*dimOut)
 		dimIn = dimOut
 	}
