@@ -4,7 +4,8 @@
 // Usage:
 //
 //	gnnlab-bench [-scale N] [-gpus N] [-epochs N] [-workers N]
-//	             [-format table|csv] [-list] [experiment ...]
+//	             [-format table|csv] [-list]
+//	             [-trace out.json] [-metrics] [-pprof addr] [experiment ...]
 //
 // With no experiment arguments, every registered experiment (the paper's
 // tables and figures plus the ablations) runs in paper order. At -scale 1
@@ -15,11 +16,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"time"
 
 	"gnnlab/internal/experiments"
 	"gnnlab/internal/measure"
+	"gnnlab/internal/obs"
 )
 
 func main() {
@@ -31,6 +34,9 @@ func main() {
 	noStore := flag.Bool("nostore", false, "disable the shared measurement store (every cell re-measures; results are identical either way)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	format := flag.String("format", "table", "output format: table or csv")
+	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file of the run to this path")
+	metrics := flag.Bool("metrics", false, "print the observability counters (measure/cost/store) to stderr at the end")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "gnnlab-bench: unknown format %q\n", *format)
@@ -45,10 +51,21 @@ func main() {
 	}
 
 	opts := experiments.Options{Scale: *scale, NumGPUs: *gpus, Epochs: *epochs, Seed: *seed, Workers: *workers}
+	if *tracePath != "" || *metrics || *pprofAddr != "" {
+		opts.Obs = obs.NewRecorder()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := obs.ServeDebug(*pprofAddr, opts.Obs.Registry()); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 	if !*noStore {
 		// One content-keyed store across all experiments: cells sharing
 		// sampling work measure once and replay many times.
 		opts.Store = measure.NewStore()
+		opts.Store.Observe(opts.Obs.Registry())
 	}
 	ids := flag.Args()
 	if len(ids) == 0 {
@@ -79,6 +96,25 @@ func main() {
 	if opts.Store != nil {
 		hits, misses := opts.Store.Stats()
 		fmt.Fprintf(os.Stderr, "measurement store: %d measured, %d reused\n", misses, hits)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := opts.Obs.WriteTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events -> %s (open at https://ui.perfetto.dev)\n",
+			opts.Obs.NumEvents(), *tracePath)
+	}
+	if *metrics {
+		if err := opts.Obs.Registry().Snapshot().WriteText(os.Stderr); err != nil {
+			log.Fatal(err)
+		}
 	}
 	os.Exit(exit)
 }

@@ -3,20 +3,26 @@
 // extracted and trained, and how busy each Trainer was. Useful for seeing
 // the factored pipeline (and dynamic switching) at work.
 //
+// With -trace, the full cross-layer trace (Measure workers on wall time,
+// Cost phases, and the simulated Sampler/Trainer lanes) is written as
+// Chrome/Perfetto trace-event JSON — open it at https://ui.perfetto.dev
+// or chrome://tracing.
+//
 // Usage:
 //
 //	gnnlab-timeline [-system gnnlab|dgl|tsota|pyg] [-model gcn|sage|pinsage]
 //	                [-dataset PA] [-gpus 8] [-scale 8] [-csv] [-gantt]
+//	                [-trace out.json] [-metrics] [-pprof addr]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"sort"
-	"strings"
+	"os"
 
 	"gnnlab"
+	"gnnlab/internal/obs"
 )
 
 func main() {
@@ -28,7 +34,22 @@ func main() {
 	csv := flag.Bool("csv", false, "dump the raw timeline as CSV")
 	gantt := flag.Bool("gantt", true, "print an ASCII per-trainer Gantt chart")
 	switching := flag.Bool("switching", false, "enable dynamic executor switching")
+	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file to this path")
+	metrics := flag.Bool("metrics", false, "print the observability counters to stderr")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
 	flag.Parse()
+
+	var rec *gnnlab.Observer
+	if *tracePath != "" || *metrics || *pprofAddr != "" {
+		rec = gnnlab.NewObserver()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := obs.ServeDebug(*pprofAddr, rec.Registry()); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	d, err := gnnlab.LoadDatasetScaled(*dataset, *scale)
 	if err != nil {
@@ -70,7 +91,7 @@ func main() {
 	cfg.Trace = true
 	cfg.DynamicSwitching = *switching
 
-	rep, err := gnnlab.Simulate(d, cfg)
+	rep, err := gnnlab.RunObserved(d, cfg, rec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,68 +101,28 @@ func main() {
 	fmt.Printf("%s\n%d tasks traced, makespan %.3fs\n\n", rep, len(rep.Timeline), rep.EpochTime)
 
 	if *csv {
-		fmt.Println("task,consumer,standby,ready,extract_start,extract_end,train_start,train_end")
-		for _, rec := range rep.Timeline {
-			fmt.Printf("%d,%d,%v,%.6f,%.6f,%.6f,%.6f,%.6f\n",
-				rec.Task, rec.Consumer, rec.Standby, rec.Ready,
-				rec.ExtractStart, rec.ExtractEnd, rec.TrainStart, rec.TrainEnd)
-		}
-		fmt.Println()
+		fmt.Println(renderCSV(rep))
 	}
 	if *gantt {
-		printGantt(rep)
+		fmt.Print(renderGantt(rep))
 	}
-}
-
-// printGantt renders one line per consumer: '.' idle, 'e' extracting,
-// 'T' training, over 100 time buckets.
-func printGantt(rep *gnnlab.Report) {
-	const cols = 100
-	perConsumer := map[int][]int{} // consumer -> timeline rows
-	for i, rec := range rep.Timeline {
-		perConsumer[rec.Consumer] = append(perConsumer[rec.Consumer], i)
-	}
-	ids := make([]int, 0, len(perConsumer))
-	for id := range perConsumer {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	span := rep.EpochTime
-	if span <= 0 {
-		return
-	}
-	for _, id := range ids {
-		row := make([]byte, cols)
-		for i := range row {
-			row[i] = '.'
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
 		}
-		standby := false
-		var busy float64
-		for _, ti := range perConsumer[id] {
-			rec := rep.Timeline[ti]
-			standby = standby || rec.Standby
-			fill(row, rec.ExtractStart/span, rec.ExtractEnd/span, 'e')
-			fill(row, rec.TrainStart/span, rec.TrainEnd/span, 'T')
-			busy += (rec.ExtractEnd - rec.ExtractStart) + (rec.TrainEnd - rec.TrainStart)
+		if err := rec.WriteTrace(f); err != nil {
+			log.Fatal(err)
 		}
-		label := fmt.Sprintf("trainer %d", id)
-		if standby {
-			label = fmt.Sprintf("standby %d", id)
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
 		}
-		fmt.Printf("%-10s |%s| %3.0f%% busy, %d tasks\n",
-			label, string(row), 100*busy/span, len(perConsumer[id]))
+		fmt.Fprintf(os.Stderr, "trace: %d events -> %s (open at https://ui.perfetto.dev)\n",
+			rec.NumEvents(), *tracePath)
 	}
-	fmt.Println(strings.Repeat(" ", 11) + "0" + strings.Repeat(" ", cols-8) + fmt.Sprintf("%.3fs", span))
-	fmt.Println("(e = extract, T = train; extract overlaps train when pipelined, so busy can exceed 100%)")
-}
-
-func fill(row []byte, from, to float64, ch byte) {
-	lo := int(from * float64(len(row)))
-	hi := int(to * float64(len(row)))
-	if hi >= len(row) {
-		hi = len(row) - 1
-	}
-	for i := lo; i <= hi && i >= 0; i++ {
-		row[i] = ch
+	if *metrics {
+		if err := rec.Registry().Snapshot().WriteText(os.Stderr); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

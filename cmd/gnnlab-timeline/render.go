@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gnnlab"
+)
+
+// renderCSV renders the raw timeline as CSV, one row per traced task in
+// dequeue order.
+func renderCSV(rep *gnnlab.Report) string {
+	var b strings.Builder
+	b.WriteString("task,consumer,standby,producer,sample_start,ready,extract_start,extract_end,train_start,train_end\n")
+	for _, rec := range rep.Timeline {
+		fmt.Fprintf(&b, "%d,%d,%v,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+			rec.Task, rec.Consumer, rec.Standby, rec.Producer, rec.SampleStart,
+			rec.Ready, rec.ExtractStart, rec.ExtractEnd, rec.TrainStart, rec.TrainEnd)
+	}
+	return b.String()
+}
+
+// renderGantt renders one line per consumer: '.' idle, 'e' extracting,
+// 'T' training, over 100 time buckets.
+func renderGantt(rep *gnnlab.Report) string {
+	const cols = 100
+	var b strings.Builder
+	perConsumer := map[int][]int{} // consumer -> timeline rows
+	for i, rec := range rep.Timeline {
+		perConsumer[rec.Consumer] = append(perConsumer[rec.Consumer], i)
+	}
+	ids := make([]int, 0, len(perConsumer))
+	for id := range perConsumer {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	span := rep.EpochTime
+	if span <= 0 {
+		return ""
+	}
+	for _, id := range ids {
+		row := make([]byte, cols)
+		for i := range row {
+			row[i] = '.'
+		}
+		standby := false
+		var busy float64
+		for _, ti := range perConsumer[id] {
+			rec := rep.Timeline[ti]
+			standby = standby || rec.Standby
+			fill(row, rec.ExtractStart/span, rec.ExtractEnd/span, 'e')
+			fill(row, rec.TrainStart/span, rec.TrainEnd/span, 'T')
+			busy += (rec.ExtractEnd - rec.ExtractStart) + (rec.TrainEnd - rec.TrainStart)
+		}
+		label := fmt.Sprintf("trainer %d", id)
+		if standby {
+			label = fmt.Sprintf("standby %d", id)
+		}
+		fmt.Fprintf(&b, "%-10s |%s| %3.0f%% busy, %d tasks\n",
+			label, string(row), 100*busy/span, len(perConsumer[id]))
+	}
+	b.WriteString(strings.Repeat(" ", 11) + "0" + strings.Repeat(" ", cols-8) + fmt.Sprintf("%.3fs", span) + "\n")
+	b.WriteString("(e = extract, T = train; extract overlaps train when pipelined, so busy can exceed 100%)\n")
+	return b.String()
+}
+
+func fill(row []byte, from, to float64, ch byte) {
+	lo := int(from * float64(len(row)))
+	hi := int(to * float64(len(row)))
+	if hi >= len(row) {
+		hi = len(row) - 1
+	}
+	for i := lo; i <= hi && i >= 0; i++ {
+		row[i] = ch
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gnnlab"
+	"gnnlab/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedReport is a hand-built two-trainer report (one standby) whose
+// rendering is pinned by the golden files — no dataset generation, so
+// the test is fast and the goldens are stable by construction.
+func fixedReport() *gnnlab.Report {
+	return &gnnlab.Report{
+		System:    "GNNLab",
+		EpochTime: 2.0,
+		Timeline: []sim.TaskTiming{
+			{Task: 0, Consumer: 0, Producer: 0, SampleStart: 0, SampleEnd: 0.2, Ready: 0.2,
+				ExtractStart: 0.2, ExtractEnd: 0.5, TrainStart: 0.5, TrainEnd: 1.0},
+			{Task: 1, Consumer: 0, Producer: 1, SampleStart: 0, SampleEnd: 0.3, Ready: 0.3,
+				ExtractStart: 0.5, ExtractEnd: 0.8, TrainStart: 1.0, TrainEnd: 1.5},
+			{Task: 2, Consumer: 1, Standby: true, Producer: 0, SampleStart: 0.2, SampleEnd: 0.4, Ready: 0.4,
+				ExtractStart: 1.0, ExtractEnd: 1.4, TrainStart: 1.4, TrainEnd: 2.0},
+		},
+	}
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestRenderCSVGolden(t *testing.T) {
+	checkGolden(t, "timeline.csv.golden", renderCSV(fixedReport()))
+}
+
+func TestRenderGanttGolden(t *testing.T) {
+	checkGolden(t, "gantt.golden", renderGantt(fixedReport()))
+}
+
+func TestRenderGanttEmptySpan(t *testing.T) {
+	if out := renderGantt(&gnnlab.Report{}); out != "" {
+		t.Errorf("empty report rendered %q, want empty", out)
+	}
+}
+
+func TestRenderCSVHeaderOnlyWithoutTimeline(t *testing.T) {
+	out := renderCSV(&gnnlab.Report{})
+	want := "task,consumer,standby,producer,sample_start,ready,extract_start,extract_end,train_start,train_end\n"
+	if out != want {
+		t.Errorf("got %q, want header only", out)
+	}
+}

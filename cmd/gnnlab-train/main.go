@@ -8,6 +8,7 @@
 //
 //	gnnlab-train [-model gcn|sage|pinsage] [-trainers N] [-samplers N]
 //	             [-target 0.97] [-epochs N] [-scale N]
+//	             [-trace out.json] [-metrics] [-pprof addr]
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"gnnlab"
 	"gnnlab/internal/gen"
+	"gnnlab/internal/obs"
 )
 
 func main() {
@@ -33,7 +35,22 @@ func main() {
 	seed := flag.Uint64("seed", 42, "random seed")
 	cacheRatio := flag.Float64("cache", 0, "feature cache ratio (0 = no cache; PreSC policy)")
 	checkpoint := flag.String("checkpoint", "", "write the trained model to this path")
+	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file of the run to this path")
+	metrics := flag.Bool("metrics", false, "print the observability counters to stderr at the end")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
 	flag.Parse()
+
+	var rec *gnnlab.Observer
+	if *tracePath != "" || *metrics || *pprofAddr != "" {
+		rec = gnnlab.NewObserver()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := obs.ServeDebug(*pprofAddr, rec.Registry()); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	var kind gnnlab.ModelKind
 	switch *model {
@@ -73,6 +90,7 @@ func main() {
 		MaxEpochs:      *epochs,
 		CacheRatio:     *cacheRatio,
 		Seed:           *seed,
+		Obs:            rec,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -104,5 +122,24 @@ func main() {
 	} else {
 		fmt.Printf("did not reach %.0f%%: final accuracy %.3f after %d epochs (%v wall)\n",
 			100**target, res.FinalAccuracy, len(res.History), time.Since(start).Round(time.Millisecond))
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.WriteTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events -> %s (open at https://ui.perfetto.dev)\n",
+			rec.NumEvents(), *tracePath)
+	}
+	if *metrics {
+		if err := rec.Registry().Snapshot().WriteText(os.Stderr); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"gnnlab/internal/gen"
 	"gnnlab/internal/measure"
 	"gnnlab/internal/nn"
+	"gnnlab/internal/obs"
 	"gnnlab/internal/train"
 	"gnnlab/internal/workload"
 )
@@ -128,6 +129,27 @@ var (
 // in the Report, mirroring the paper's tables. Simulate is exactly
 // Measure followed by Replay.
 func Simulate(d *Dataset, cfg SystemConfig) (*Report, error) { return core.Run(d, cfg) }
+
+// Observer records cross-layer observability for runs: hierarchical
+// wall-clock spans from the Measure and Cost layers, the simulated
+// timeline as trace events (when SystemConfig.Trace is set), live
+// training spans, and a metrics registry of counters/gauges/histograms.
+// Export the trace with WriteTrace (Chrome/Perfetto trace-event JSON,
+// loadable at https://ui.perfetto.dev) and the metrics with
+// Registry().Snapshot(). A nil Observer is valid and free: observability
+// never changes results, only exposes them.
+type Observer = obs.Recorder
+
+// NewObserver returns an empty observer whose wall-clock zero is now.
+func NewObserver() *Observer { return obs.NewRecorder() }
+
+// RunObserved is Simulate with observability: spans, counters and (with
+// cfg.Trace) the simulated timeline are recorded into o. The Report is
+// bit-identical to Simulate(d, cfg) without the observer.
+func RunObserved(d *Dataset, cfg SystemConfig, o *Observer) (*Report, error) {
+	cfg.Obs = o
+	return core.Run(d, cfg)
+}
 
 // Measurement is the recorded sampling work of a run — a cost-model-free
 // artifact (per-batch edge counts, input-vertex sets, layer shapes) that

@@ -24,6 +24,7 @@ import (
 	"gnnlab/internal/cache"
 	"gnnlab/internal/device"
 	"gnnlab/internal/measure"
+	"gnnlab/internal/obs"
 	"gnnlab/internal/workload"
 )
 
@@ -100,6 +101,14 @@ type Config struct {
 	// measure once and replay many times. Reports are bit-identical
 	// with or without a store.
 	MeasureStore *measure.Store
+
+	// Obs, when non-nil, records cross-layer observability for the run:
+	// wall-clock spans from the Measure and Cost layers, counters and
+	// histograms in its metrics registry, and (when Trace is also set)
+	// the simulated timeline as Perfetto trace events. Reports are
+	// bit-identical with or without a recorder — spans observe, never
+	// perturb, and a nil recorder costs nothing on the hot paths.
+	Obs *obs.Recorder
 
 	// MemScale divides the calibrated fixed memory footprints (runtime
 	// reserve, sampling and training workspaces). The footprints are

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"gnnlab/internal/gen"
+	"gnnlab/internal/measure"
+	"gnnlab/internal/obs"
+	"gnnlab/internal/workload"
+)
+
+// observedRun is runScaled with a recorder attached and the per-task
+// timeline enabled.
+func observedRun(t *testing.T, rec *obs.Recorder, trace bool) *Report {
+	t.Helper()
+	d, mem, ms := tinyDataset(t, gen.PresetPA, 16)
+	cfg := GNNLab(scaledSpec(workload.GCN, 16), 4)
+	cfg.GPUMemory = mem
+	cfg.MemScale = ms
+	cfg.Epochs = 2
+	cfg.Trace = trace
+	cfg.Obs = rec
+	cfg.MeasureStore = measure.NewStore()
+	cfg.MeasureStore.Observe(rec.Registry())
+	rep, err := Run(d, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", cfg.Name, err)
+	}
+	return rep
+}
+
+// TestReportBitIdenticalWithObservability is the acceptance criterion:
+// attaching a Recorder must not perturb a single byte of the Report,
+// with the timeline on or off.
+func TestReportBitIdenticalWithObservability(t *testing.T) {
+	for _, trace := range []bool{false, true} {
+		plain := observedRun(t, nil, trace)
+		observed := observedRun(t, obs.NewRecorder(), trace)
+		if !reflect.DeepEqual(plain, observed) {
+			t.Errorf("trace=%v: report differs with observability attached:\n  off: %+v\n  on:  %+v",
+				trace, plain, observed)
+		}
+		a, err := json.Marshal(plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(observed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("trace=%v: serialized reports are not byte-identical", trace)
+		}
+	}
+}
+
+type coreTraceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Args map[string]any `json:"args"`
+}
+
+// TestTraceCoversAllLayersAndTimeline decodes the exported trace and
+// checks the acceptance shape: at least three process lanes (the
+// simulated Sampler and Trainer plus the wall-clock Measure workers),
+// and one extract + one train span per Timeline record, at the record's
+// simulated times.
+func TestTraceCoversAllLayersAndTimeline(t *testing.T) {
+	rec := obs.NewRecorder()
+	rep := observedRun(t, rec, true)
+	if len(rep.Timeline) == 0 {
+		t.Fatal("traced run produced no timeline")
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []coreTraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	procs := map[string]int{} // process name -> pid
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			if name, ok := ev.Args["name"].(string); ok {
+				procs[name] = ev.Pid
+			}
+		}
+	}
+	for _, want := range []string{"Sampler", "Trainer", "Measure", "Cost"} {
+		if _, ok := procs[want]; !ok {
+			t.Errorf("trace has no %q process lane (got %v)", want, procs)
+		}
+	}
+	if len(procs) < 3 {
+		t.Fatalf("trace has %d process lanes, want >= 3: %v", len(procs), procs)
+	}
+
+	// Index the Trainer-lane spans by (name, start µs).
+	type spanKey struct {
+		name string
+		ts   float64
+	}
+	spans := map[spanKey]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Pid == procs["Trainer"] {
+			spans[spanKey{ev.Name, ev.Ts}]++
+		}
+	}
+	extracts, trains := 0, 0
+	for _, tt := range rep.Timeline {
+		if n := spans[spanKey{"extract", tt.ExtractStart * 1e6}]; n == 0 {
+			t.Errorf("task %d: no extract span at ts=%v", tt.Task, tt.ExtractStart*1e6)
+		}
+		if n := spans[spanKey{"train", tt.TrainStart * 1e6}]; n == 0 {
+			t.Errorf("task %d: no train span at ts=%v", tt.Task, tt.TrainStart*1e6)
+		}
+		extracts++
+		trains++
+	}
+	var gotExtract, gotTrain, gotSample int
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		switch {
+		case ev.Pid == procs["Trainer"] && ev.Name == "extract":
+			gotExtract++
+		case ev.Pid == procs["Trainer"] && ev.Name == "train":
+			gotTrain++
+		case ev.Pid == procs["Sampler"] && ev.Name == "sample":
+			gotSample++
+		}
+	}
+	if gotExtract != extracts || gotTrain != trains {
+		t.Errorf("trace has %d extract / %d train spans, want %d / %d (one per timeline record)",
+			gotExtract, gotTrain, extracts, trains)
+	}
+	if gotSample == 0 {
+		t.Error("trace has no sample spans in the Sampler lane")
+	}
+
+	// The pipeline counters made it into the registry.
+	snap := rec.Registry().Snapshot()
+	for _, name := range []string{"core.runs", "measure.cells", "store.misses"} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %s is zero after an observed run", name)
+		}
+	}
+}

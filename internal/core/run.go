@@ -8,6 +8,7 @@ import (
 	"gnnlab/internal/device"
 	"gnnlab/internal/gen"
 	"gnnlab/internal/measure"
+	"gnnlab/internal/obs"
 	"gnnlab/internal/par"
 	"gnnlab/internal/rng"
 	"gnnlab/internal/sampling"
@@ -188,14 +189,14 @@ func oomPreflight(rep *Report, design Design, cfg Config, plan memPlan) bool {
 	if plan.err != nil {
 		rep.OOM = true
 		rep.OOMReason = plan.err.Error()
-		return true
-	}
-	if reason := design.Preflight(cfg, plan); reason != "" {
+	} else if reason := design.Preflight(cfg, plan); reason != "" {
 		rep.OOM = true
 		rep.OOMReason = reason
-		return true
 	}
-	return false
+	if rep.OOM {
+		cfg.Obs.Registry().Counter("core.oom").Add(1)
+	}
+	return rep.OOM
 }
 
 // effectiveAlgorithm returns the sampling algorithm a configuration
@@ -223,12 +224,24 @@ func measureFor(d *gen.Dataset, cfg Config) *measure.Measurement {
 	alg := effectiveAlgorithm(cfg)
 	spec := measure.SpecFor(d, alg, cfg.Workload.BatchSize, cfg.Epochs, cfg.Seed)
 	collect := func() *measure.Measurement {
-		return measure.Collect(d, spec, alg, cfg.MeasureWorkers)
+		return measure.Collect(d, spec, alg, cfg.MeasureWorkers, cfg.Obs)
 	}
+	sp := cfg.costLane(d).Start("measure")
+	defer sp.End(obs.Attr{Key: "stored", Value: cfg.MeasureStore != nil})
 	if cfg.MeasureStore != nil {
 		return cfg.MeasureStore.GetOrMeasure(spec, collect)
 	}
 	return collect()
+}
+
+// costLane is the Cost layer's wall-clock lane for this configuration:
+// process "Cost", one thread per (system, dataset) cell. Disabled (and
+// free) when no recorder is configured.
+func (c Config) costLane(d *gen.Dataset) obs.Lane {
+	if c.Obs == nil {
+		return obs.Lane{}
+	}
+	return c.Obs.Lane("Cost", fmt.Sprintf("%s/%s/%s", c.Name, c.Workload.Name(), d.Name))
 }
 
 // replay is the Cost and Simulate layers: probe the measured input sets
@@ -238,8 +251,10 @@ func (rn runner) replay(design Design, rep *Report, plan memPlan, m *measure.Mea
 	cfg := rn.cfg
 	d := m.Dataset
 	n := d.NumVertices()
+	lane := cfg.costLane(d)
 
 	// Build the cache table from the configured policy.
+	cacheSp := lane.Start("build-cache")
 	var table, standbyTable *cache.Table
 	var err error
 	if plan.cacheSlots > 0 || plan.standbySlots > 0 {
@@ -267,12 +282,16 @@ func (rn runner) replay(design Design, rep *Report, plan memPlan, m *measure.Mea
 		}
 	}
 	rep.CacheRatio = table.Ratio()
+	cacheSp.End(
+		obs.Attr{Key: "policy", Value: cfg.CachePolicy.String()},
+		obs.Attr{Key: "cache_ratio", Value: rep.CacheRatio})
 
 	// Probe the measurement against this configuration's cache tables and
 	// price the FLOPs at the feature dimension in effect. Each cell writes
 	// only its own pre-sized slot, and hit/miss counters are commutative
 	// atomic sums, so the Report is bit-identical at any MeasureWorkers
 	// setting.
+	probeSp := lane.Start("probe-cache")
 	type cellRef struct{ epoch, batch int }
 	epochs := make([][]batchWork, len(m.Epochs))
 	cells := make([]cellRef, 0, len(m.Epochs)*m.NumBatches())
@@ -303,21 +322,52 @@ func (rn runner) replay(design Design, rep *Report, plan memPlan, m *measure.Mea
 	rep.HitRate = stats.HitRate()
 	rep.TransferredBytes = stats.MissBytes / int64(cfg.Epochs)
 	rep.SamplerPartitions = plan.samplerPartitions
+	probeSp.End(
+		obs.Attr{Key: "cells", Value: len(cells)},
+		obs.Attr{Key: "hit_rate", Value: rep.HitRate})
 
 	// Cost: the design prices each epoch; Simulate: the engine runs it.
+	simSp := lane.Start("cost+simulate")
 	state, oom := design.Plan(&rn, rep, plan, epochs, standbyTable != nil)
 	if oom != "" {
 		rep.OOM = true
 		rep.OOMReason = oom
+		cfg.Obs.Registry().Counter("core.oom").Add(1)
 		return rep, nil
 	}
 	var tot stageTotals
 	var makespans float64
-	for _, work := range epochs {
+	for e, work := range epochs {
+		esp := simSp.Child("epoch")
 		makespans += rn.simulateEpoch(rep, design.CostEpoch(&rn, rep, state, work, &tot))
+		esp.End(obs.Attr{Key: "epoch", Value: e})
 	}
 	rn.finishAverages(rep, makespans, tot)
+	simSp.End(obs.Attr{Key: "design", Value: cfg.Design.String()})
+	rn.observeReport(rep, stats)
+	if cfg.Trace && cfg.Obs != nil && rep.Timeline != nil {
+		sim.EmitTrace(cfg.Obs, cfg.Name, rep.Timeline)
+	}
 	return rep, nil
+}
+
+// observeReport folds a finished replay's headline quantities into the
+// configured metrics registry; a nil recorder makes this free.
+func (rn runner) observeReport(rep *Report, stats cache.Stats) {
+	reg := rn.cfg.Obs.Registry()
+	if reg == nil {
+		return
+	}
+	reg.Counter("core.runs").Add(1)
+	reg.Counter("core.cache.hits").Add(stats.Hits)
+	reg.Counter("core.cache.misses").Add(stats.Misses)
+	reg.Counter("core.pcie.transferred_bytes").Add(rep.TransferredBytes * int64(rep.Epochs))
+	reg.Counter("core.tasks_by_standby").Add(int64(rep.TasksByStandby))
+	reg.Histogram("core.epoch_time_s").Observe(rep.EpochTime)
+	reg.Histogram("core.hit_rate").Observe(rep.HitRate)
+	reg.Histogram("core.sample_total_s").Observe(rep.SampleTotal)
+	reg.Histogram("core.extract_total_s").Observe(rep.ExtractTot)
+	reg.Histogram("core.train_total_s").Observe(rep.TrainTot)
 }
 
 // buildRanking produces the cache ranking for the configured policy and

@@ -14,6 +14,7 @@ import (
 	"gnnlab/internal/device"
 	"gnnlab/internal/gen"
 	"gnnlab/internal/measure"
+	"gnnlab/internal/obs"
 	"gnnlab/internal/par"
 	"gnnlab/internal/rng"
 	"gnnlab/internal/workload"
@@ -45,6 +46,10 @@ type Options struct {
 	// bit-identical with or without it; only wall-clock changes.
 	// cmd/gnnlab-bench shares one store across all experiments.
 	Store *measure.Store
+	// Obs, when non-nil, records cross-layer observability (Measure and
+	// Cost spans, pipeline counters) for every cell into one recorder.
+	// Tables are bit-identical with or without it.
+	Obs *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -80,6 +85,7 @@ func (o Options) apply(cfg core.Config) core.Config {
 	cfg.Seed = o.Seed
 	cfg.MeasureWorkers = o.Workers
 	cfg.MeasureStore = o.Store
+	cfg.Obs = o.Obs
 	return cfg
 }
 

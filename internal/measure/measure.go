@@ -11,7 +11,10 @@
 package measure
 
 import (
+	"fmt"
+
 	"gnnlab/internal/gen"
+	"gnnlab/internal/obs"
 	"gnnlab/internal/par"
 	"gnnlab/internal/sampling"
 	"gnnlab/internal/workload"
@@ -92,7 +95,13 @@ func (m *Measurement) NumBatches() int {
 // only its own pre-sized slot, so the Measurement is bit-identical at
 // any worker count. alg must match spec.Algorithm; it is cloned per
 // worker and never mutated.
-func Collect(d *gen.Dataset, spec Spec, alg sampling.Algorithm, workers int) *Measurement {
+//
+// When rec is non-nil, every cell records a wall-clock "sample" span on
+// its worker's lane (process "Measure", one thread per pool worker) and
+// the measured volumes feed the recorder's counters. The spans only
+// observe: the Measurement is bit-identical with rec nil or not, and a
+// nil rec adds no allocations to the loop.
+func Collect(d *gen.Dataset, spec Spec, alg sampling.Algorithm, workers int, rec *obs.Recorder) *Measurement {
 	sampling.Prepare(alg, d.Graph)
 	cells := sampling.PlanEpochs(d.TrainSet, spec.BatchSize, spec.Epochs, spec.Seed)
 	m := &Measurement{Spec: spec, Dataset: d, Epochs: make([][]Batch, spec.Epochs)}
@@ -108,8 +117,26 @@ func Collect(d *gen.Dataset, spec Spec, alg sampling.Algorithm, workers int) *Me
 	for i := range algs {
 		algs[i] = sampling.CloneAlgorithm(alg)
 	}
+	var lanes []obs.Lane
+	var cCells, cSampled, cScanned, cInput, cBytes *obs.Counter
+	if rec != nil {
+		lanes = make([]obs.Lane, w)
+		for i := range lanes {
+			lanes[i] = rec.Lane("Measure", fmt.Sprintf("worker-%d", i))
+		}
+		reg := rec.Registry()
+		cCells = reg.Counter("measure.cells")
+		cSampled = reg.Counter("measure.sampled_edges")
+		cScanned = reg.Counter("measure.scanned_edges")
+		cInput = reg.Counter("measure.input_vertices")
+		cBytes = reg.Counter("measure.sample_bytes")
+	}
 	par.ForEach(workers, len(cells), func(worker, i int) {
 		c := cells[i]
+		var sp *obs.Span
+		if rec != nil {
+			sp = lanes[worker].Start("sample")
+		}
 		s := algs[worker].Sample(d.Graph, c.Seeds, c.R)
 		layers := make([]workload.LayerDims, len(s.Layers))
 		for li, l := range s.Layers {
@@ -122,6 +149,19 @@ func Collect(d *gen.Dataset, spec Spec, alg sampling.Algorithm, workers int) *Me
 			SampleBytes:  s.Bytes(),
 			Input:        s.Input,
 			Layers:       layers,
+		}
+		if sp != nil {
+			sp.End(
+				obs.Attr{Key: "dataset", Value: spec.Dataset},
+				obs.Attr{Key: "epoch", Value: c.Epoch},
+				obs.Attr{Key: "batch", Value: c.Batch},
+				obs.Attr{Key: "sampled_edges", Value: s.SampledEdges},
+				obs.Attr{Key: "input_vertices", Value: len(s.Input)})
+			cCells.Add(1)
+			cSampled.Add(s.SampledEdges)
+			cScanned.Add(s.ScannedEdges)
+			cInput.Add(int64(len(s.Input)))
+			cBytes.Add(s.Bytes())
 		}
 	})
 	return m

@@ -31,12 +31,12 @@ func TestCollectDeterministicAcrossWorkers(t *testing.T) {
 	d := testDataset(t)
 	spec, w := testSpec(d, workload.NewSpec(workload.GCN), 2)
 
-	ref := Collect(d, spec, w.NewSampler(), 1)
+	ref := Collect(d, spec, w.NewSampler(), 1, nil)
 	if ref.NumBatches() == 0 {
 		t.Fatal("measurement is empty")
 	}
 	for _, workers := range []int{2, 7} {
-		got := Collect(d, spec, w.NewSampler(), workers)
+		got := Collect(d, spec, w.NewSampler(), workers, nil)
 		if !reflect.DeepEqual(ref, got) {
 			t.Errorf("workers=%d: Measurement differs from serial reference", workers)
 		}
@@ -46,7 +46,7 @@ func TestCollectDeterministicAcrossWorkers(t *testing.T) {
 func TestCollectShapes(t *testing.T) {
 	d := testDataset(t)
 	spec, w := testSpec(d, workload.NewSpec(workload.GCN), 3)
-	m := Collect(d, spec, w.NewSampler(), 0)
+	m := Collect(d, spec, w.NewSampler(), 0, nil)
 
 	if len(m.Epochs) != 3 {
 		t.Fatalf("epochs = %d, want 3", len(m.Epochs))
@@ -85,7 +85,7 @@ func TestStoreSingleFlight(t *testing.T) {
 			defer wg.Done()
 			results[i] = store.GetOrMeasure(spec, func() *Measurement {
 				collects.Add(1)
-				return Collect(d, spec, w.NewSampler(), 1)
+				return Collect(d, spec, w.NewSampler(), 1, nil)
 			})
 		}(i)
 	}
@@ -114,7 +114,7 @@ func TestStoreKeysAndRankings(t *testing.T) {
 
 	store := NewStore()
 	collect := func(spec Spec) func() *Measurement {
-		return func() *Measurement { return Collect(d, spec, w.NewSampler(), 1) }
+		return func() *Measurement { return Collect(d, spec, w.NewSampler(), 1, nil) }
 	}
 	a1 := store.GetOrMeasure(specA, collect(specA))
 	b1 := store.GetOrMeasure(specB, collect(specB))

@@ -3,6 +3,8 @@ package measure
 import (
 	"sync"
 	"sync/atomic"
+
+	"gnnlab/internal/obs"
 )
 
 // Store is a content-keyed measurement cache. Experiment cells whose
@@ -21,12 +23,20 @@ type Store struct {
 	measures map[Spec]*entry[*Measurement]
 	rankings map[RankKey]*entry[Ranking]
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+
+	// Mirror counters in an observed metrics registry (nil-safe when the
+	// store is unobserved). Set via Observe before concurrent use.
+	mHits      *obs.Counter
+	mMisses    *obs.Counter
+	mCoalesced *obs.Counter
 }
 
 type entry[T any] struct {
 	once sync.Once
+	done atomic.Bool
 	v    T
 }
 
@@ -38,9 +48,40 @@ func NewStore() *Store {
 	}
 }
 
+// Observe mirrors the store's counters into reg as store.hits,
+// store.misses and store.coalesced_waits, seeding them with the current
+// values. Call it before handing the store to concurrent runs; a nil
+// registry leaves the store unobserved.
+func (s *Store) Observe(reg *obs.Registry) {
+	s.mHits = reg.Counter("store.hits")
+	s.mMisses = reg.Counter("store.misses")
+	s.mCoalesced = reg.Counter("store.coalesced_waits")
+	s.mHits.Add(s.hits.Load())
+	s.mMisses.Add(s.misses.Load())
+	s.mCoalesced.Add(s.coalesced.Load())
+}
+
+// account books one request against an entry's in-flight state: ok
+// means the entry existed (hit — coalesced when its work was still in
+// flight), otherwise this request triggered the work (miss).
+func (s *Store) account(ok, inFlight bool) {
+	if !ok {
+		s.misses.Add(1)
+		s.mMisses.Add(1)
+		return
+	}
+	s.hits.Add(1)
+	s.mHits.Add(1)
+	if inFlight {
+		s.coalesced.Add(1)
+		s.mCoalesced.Add(1)
+	}
+}
+
 // GetOrMeasure returns the measurement stored under spec, producing it
 // with collect on first request. Concurrent requests for the same spec
-// share one collect call.
+// share one collect call; a request that blocks on another's in-flight
+// collect counts as a coalesced wait.
 func (s *Store) GetOrMeasure(spec Spec, collect func() *Measurement) *Measurement {
 	s.mu.Lock()
 	e, ok := s.measures[spec]
@@ -49,12 +90,11 @@ func (s *Store) GetOrMeasure(spec Spec, collect func() *Measurement) *Measuremen
 		s.measures[spec] = e
 	}
 	s.mu.Unlock()
-	if ok {
-		s.hits.Add(1)
-	} else {
-		s.misses.Add(1)
-	}
-	e.once.Do(func() { e.v = collect() })
+	s.account(ok, ok && !e.done.Load())
+	e.once.Do(func() {
+		e.v = collect()
+		e.done.Store(true)
+	})
 	return e.v
 }
 
@@ -84,7 +124,7 @@ type Ranking struct {
 
 // GetOrRank returns the ranking stored under key, producing it with rank
 // on first request, single-flight like GetOrMeasure. Rankings count
-// toward the same hit/miss statistics.
+// toward the same hit/miss/coalesced statistics.
 func (s *Store) GetOrRank(key RankKey, rank func() Ranking) Ranking {
 	s.mu.Lock()
 	e, ok := s.rankings[key]
@@ -93,12 +133,11 @@ func (s *Store) GetOrRank(key RankKey, rank func() Ranking) Ranking {
 		s.rankings[key] = e
 	}
 	s.mu.Unlock()
-	if ok {
-		s.hits.Add(1)
-	} else {
-		s.misses.Add(1)
-	}
-	e.once.Do(func() { e.v = rank() })
+	s.account(ok, ok && !e.done.Load())
+	e.once.Do(func() {
+		e.v = rank()
+		e.done.Store(true)
+	})
 	return e.v
 }
 
@@ -107,4 +146,11 @@ func (s *Store) GetOrRank(key RankKey, rank func() Ranking) Ranking {
 // that triggered the work.
 func (s *Store) Stats() (hits, misses int64) {
 	return s.hits.Load(), s.misses.Load()
+}
+
+// CoalescedWaits reports how many hits blocked on an entry whose work
+// was still in flight (single-flight coalescing), as opposed to hits
+// served from a completed entry.
+func (s *Store) CoalescedWaits() int64 {
+	return s.coalesced.Load()
 }

@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"sync"
+)
+
+// publishOnce guards the process-wide expvar name (expvar.Publish
+// panics on duplicates).
+var publishOnce sync.Once
+
+// ServeDebug starts an HTTP server on addr exposing net/http/pprof
+// (/debug/pprof/) and expvar (/debug/vars), with reg's snapshot
+// published under the "gnnlab_metrics" expvar. It blocks like
+// http.ListenAndServe; the cmd tools run it on a goroutine behind an
+// opt-in -pprof flag. Only the first registry passed process-wide is
+// published (expvar names are global).
+func ServeDebug(addr string, reg *Registry) error {
+	publishOnce.Do(func() {
+		expvar.Publish("gnnlab_metrics", expvar.Func(func() any {
+			return reg.Snapshot()
+		}))
+	})
+	return http.ListenAndServe(addr, nil)
+}

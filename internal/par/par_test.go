@@ -123,3 +123,50 @@ func TestGroupPanicPropagates(t *testing.T) {
 	g.Go(func() error { panic("boom") })
 	_ = g.Wait()
 }
+
+// sentinelPanic is a distinct panic payload type so the re-raise test can
+// assert value identity, not just "some panic happened".
+type sentinelPanic struct{ reason string }
+
+func TestForEachPanicValueAndDrain(t *testing.T) {
+	const n, workers = 100, 4
+	want := &sentinelPanic{reason: "index 13 exploded"}
+	var completed atomic.Int64
+	var inFlight atomic.Int64
+	var maxAfterPanic atomic.Int64
+	panicked := atomic.Bool{}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		got, ok := r.(*sentinelPanic)
+		if !ok || got != want {
+			t.Fatalf("recovered %#v, want the original panic value %#v", r, want)
+		}
+		// Re-raise happens only after every worker drains: nothing may
+		// still be in flight, and every non-panicking index completed.
+		if in := inFlight.Load(); in != 0 {
+			t.Errorf("%d calls still in flight when panic re-raised", in)
+		}
+		if c := completed.Load(); c != n-1 {
+			t.Errorf("completed %d indices, want %d (all but the panicking one)", c, n-1)
+		}
+		if m := maxAfterPanic.Load(); m == 0 {
+			t.Log("no index observed after the panic (legal, but the drain saw no concurrency)")
+		}
+	}()
+	ForEach(workers, n, func(_, i int) {
+		inFlight.Add(1)
+		defer inFlight.Add(-1)
+		if i == 13 {
+			panicked.Store(true)
+			panic(want)
+		}
+		if panicked.Load() {
+			maxAfterPanic.Add(1)
+		}
+		completed.Add(1)
+	})
+	t.Fatal("ForEach returned instead of panicking")
+}

@@ -32,6 +32,9 @@ type Task struct {
 
 	// Ready is filled by Produce: when the task enters the global queue.
 	Ready Seconds
+	// Producer is filled by Produce: which Sampler produced the task
+	// (for timeline attribution; zero for pre-staged tasks).
+	Producer int
 }
 
 // standbyExtract returns the effective standby extract duration.
@@ -59,6 +62,7 @@ func Produce(tasks []Task, numProducers int, startAt Seconds) (producerFinish []
 		p := argmin(free)
 		free[p] += tasks[i].Sample
 		tasks[i].Ready = free[p]
+		tasks[i].Producer = p
 	}
 	return free
 }
@@ -116,6 +120,11 @@ type TaskTiming struct {
 	Ready                    Seconds
 	ExtractStart, ExtractEnd Seconds
 	TrainStart, TrainEnd     Seconds
+	// Producer and SampleStart/SampleEnd attribute the Sample stage to
+	// the Sampler that produced the task; all zero when the task was
+	// pre-staged rather than produced (e.g. time-sharing designs).
+	Producer               int
+	SampleStart, SampleEnd Seconds
 }
 
 // consumer is the runtime state of one Trainer in the event loop.
@@ -261,7 +270,7 @@ func Consume(tasks []Task, opts ConsumeOptions) Result {
 			res.Makespan = trainEnd
 		}
 		if opts.Trace {
-			res.Timeline = append(res.Timeline, TaskTiming{
+			rec := TaskTiming{
 				Task:         idx,
 				Consumer:     best,
 				Standby:      c.standby,
@@ -270,7 +279,16 @@ func Consume(tasks []Task, opts ConsumeOptions) Result {
 				ExtractEnd:   extractEnd,
 				TrainStart:   trainStart,
 				TrainEnd:     trainEnd,
-			})
+			}
+			// A produced task's Sample stage ended when it became Ready;
+			// pre-staged tasks (Ready 0, or Sample folded elsewhere) keep
+			// the zero sample window.
+			if t.Sample > 0 && t.Ready >= t.Sample {
+				rec.Producer = t.Producer
+				rec.SampleStart = t.Ready - t.Sample
+				rec.SampleEnd = t.Ready
+			}
+			res.Timeline = append(res.Timeline, rec)
 		}
 
 		// Synchronous rounds: after one task per available consumer, a

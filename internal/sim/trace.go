@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"fmt"
+
+	"gnnlab/internal/obs"
+)
+
+// EmitTrace converts an execution timeline into trace events on the
+// recorder, using the *simulated* clock: one "Sampler" process with a
+// thread per producer, one "Trainer" process with a thread per consumer
+// (standby Trainers get their own lanes), and one ph:"X" span per stage
+// of every task. The conversion only reads the timeline — Reports stay
+// bit-identical with tracing on or off. A nil recorder no-ops.
+func EmitTrace(rec *obs.Recorder, system string, timeline []TaskTiming) {
+	if rec == nil || len(timeline) == 0 {
+		return
+	}
+	samplerLanes := map[int]obs.Lane{}
+	consumerLanes := map[int]obs.Lane{}
+	queueWait := rec.Registry().Histogram("sim.queue_wait_s")
+	for _, tt := range timeline {
+		if tt.SampleEnd > tt.SampleStart {
+			lane, ok := samplerLanes[tt.Producer]
+			if !ok {
+				lane = rec.Lane("Sampler", fmt.Sprintf("sampler %d", tt.Producer))
+				samplerLanes[tt.Producer] = lane
+			}
+			lane.Complete("sample", tt.SampleStart, tt.SampleEnd-tt.SampleStart,
+				obs.Attr{Key: "task", Value: tt.Task},
+				obs.Attr{Key: "system", Value: system})
+		}
+		lane, ok := consumerLanes[tt.Consumer]
+		if !ok {
+			name := fmt.Sprintf("trainer %d", tt.Consumer)
+			if tt.Standby {
+				name = fmt.Sprintf("standby %d", tt.Consumer)
+			}
+			lane = rec.Lane("Trainer", name)
+			consumerLanes[tt.Consumer] = lane
+		}
+		queueWait.Observe(float64(tt.ExtractStart - tt.Ready))
+		lane.Complete("extract", tt.ExtractStart, tt.ExtractEnd-tt.ExtractStart,
+			obs.Attr{Key: "task", Value: tt.Task},
+			obs.Attr{Key: "queue_wait_s", Value: tt.ExtractStart - tt.Ready},
+			obs.Attr{Key: "system", Value: system})
+		lane.Complete("train", tt.TrainStart, tt.TrainEnd-tt.TrainStart,
+			obs.Attr{Key: "task", Value: tt.Task},
+			obs.Attr{Key: "system", Value: system})
+	}
+}

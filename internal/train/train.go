@@ -14,6 +14,7 @@ import (
 	"gnnlab/internal/feature"
 	"gnnlab/internal/gen"
 	"gnnlab/internal/nn"
+	"gnnlab/internal/obs"
 	"gnnlab/internal/queue"
 	"gnnlab/internal/rng"
 	"gnnlab/internal/sampling"
@@ -47,6 +48,11 @@ type Options struct {
 	CacheRatio  float64
 	CachePolicy cache.PolicyKind
 	Seed        uint64
+	// Obs, when non-nil, records per-minibatch gather/forward+backward/
+	// step spans (process "Train", one lane per trainer plus sampler and
+	// optimizer lanes) and training counters. Spans only observe: the
+	// trained model and history are identical with or without it.
+	Obs *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -182,6 +188,21 @@ func Train(d *gen.Dataset, opts Options) (*Result, error) {
 // It returns the summed loss and the number of gradient updates.
 func runEpochSteps(model *nn.Model, replicas []*nn.Model, opt *tensor.Adam, store *feature.Store, d *gen.Dataset, stream *sampleStream, numBatches int, opts Options) (float64, int, error) {
 	workers := append([]*nn.Model{model}, replicas...)
+	rec := opts.Obs
+	var trainerLanes []obs.Lane
+	var stepLane obs.Lane
+	reg := rec.Registry()
+	cBatches := reg.Counter("train.minibatches")
+	cUpdates := reg.Counter("train.updates")
+	cHits := reg.Counter("train.gather.hits")
+	cMisses := reg.Counter("train.gather.misses")
+	if rec != nil {
+		trainerLanes = make([]obs.Lane, len(workers))
+		for i := range trainerLanes {
+			trainerLanes[i] = rec.Lane("Train", fmt.Sprintf("trainer-%d", i))
+		}
+		stepLane = rec.Lane("Train", "optimizer")
+	}
 	var epochLoss float64
 	updates := 0
 	for start := 0; start < numBatches; start += len(workers) {
@@ -200,14 +221,30 @@ func runEpochSteps(model *nn.Model, replicas []*nn.Model, opt *tensor.Adam, stor
 			wg.Add(1)
 			go func(i int, s *sampling.Sample, m *nn.Model) {
 				defer wg.Done()
+				var sp *obs.Span
+				if trainerLanes != nil {
+					sp = trainerLanes[i].Start("minibatch")
+				}
 				g, err := nn.NewCompact(s)
 				if err != nil {
 					errs[i] = err
 					return
 				}
-				feats, _, _ := store.Gather(s)
+				gsp := sp.Child("gather")
+				feats, hits, misses := store.Gather(s)
+				if gsp != nil {
+					gsp.End(obs.Attr{Key: "hits", Value: hits}, obs.Attr{Key: "misses", Value: misses})
+				}
+				cHits.Add(int64(hits))
+				cMisses.Add(int64(misses))
 				labels := nn.SeedLabels(s, d.Labels)
+				fbsp := sp.Child("forward+backward")
 				losses[i], _, errs[i] = m.LossAndGrad(g, feats, labels)
+				fbsp.End()
+				if sp != nil {
+					sp.End(obs.Attr{Key: "batch", Value: start + i})
+				}
+				cBatches.Add(1)
 			}(i, s, workers[i])
 		}
 		wg.Wait()
@@ -219,6 +256,7 @@ func runEpochSteps(model *nn.Model, replicas []*nn.Model, opt *tensor.Adam, stor
 		}
 		// Gradient exchange: replicas' gradients accumulate into the
 		// master in fixed order, then the averaged update applies.
+		ssp := stepLane.Start("exchange+step")
 		for i := 1; i < len(round); i++ {
 			if err := nn.AccumulateGrads(model.Params(), workers[i].Params()); err != nil {
 				return 0, 0, err
@@ -227,10 +265,14 @@ func runEpochSteps(model *nn.Model, replicas []*nn.Model, opt *tensor.Adam, stor
 		averageGrads(opt.Params(), len(round))
 		opt.Step()
 		updates++
+		cUpdates.Add(1)
 		for _, rep := range replicas {
 			if err := nn.CopyParams(rep.Params(), model.Params()); err != nil {
 				return 0, 0, err
 			}
+		}
+		if ssp != nil {
+			ssp.End(obs.Attr{Key: "round_batches", Value: len(round)})
 		}
 	}
 	return epochLoss, updates, nil
@@ -344,7 +386,12 @@ func produceSamples(d *gen.Dataset, alg sampling.Algorithm, batches [][]int32, o
 		work.Enqueue(task{idx: i, seeds: b})
 	}
 	work.Close()
+	cSamples := opts.Obs.Registry().Counter("train.samples")
 	for w := 0; w < opts.NumSamplers; w++ {
+		var lane obs.Lane
+		if opts.Obs != nil {
+			lane = opts.Obs.Lane("Train", fmt.Sprintf("sampler-%d", w))
+		}
 		go func() {
 			a := sampling.CloneAlgorithm(alg)
 			for {
@@ -352,7 +399,12 @@ func produceSamples(d *gen.Dataset, alg sampling.Algorithm, batches [][]int32, o
 				if !ok {
 					return
 				}
+				sp := lane.Start("sample")
 				item := sampleOne(d, a, t.seeds, t.idx, opts, epoch)
+				if sp != nil {
+					sp.End(obs.Attr{Key: "epoch", Value: epoch}, obs.Attr{Key: "batch", Value: t.idx})
+				}
+				cSamples.Add(1)
 				done.Enqueue(item)
 			}
 		}()

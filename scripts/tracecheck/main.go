@@ -1,0 +1,99 @@
+// Command tracecheck validates that a file is a well-formed
+// Chrome/Perfetto trace-event export of a gnnlab run: a traceEvents
+// array whose events carry ph/pid/tid, naming at least three process
+// lanes (including the simulated Sampler and Trainer), with at least one
+// complete ("X") span of nonzero duration. CI runs it against the output
+// of `gnnlab-timeline -trace`; exit status is nonzero on any violation.
+//
+// Usage: tracecheck trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   *float64       `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  *int           `json:"pid"`
+	Tid  *int           `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+func run(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("%s: not valid JSON: %v", path, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("%s: traceEvents array is missing or empty", path)
+	}
+
+	procs := map[int]string{}
+	spans := 0
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph == "" || ev.Pid == nil || ev.Tid == nil {
+			return fmt.Errorf("%s: event %d (%q) lacks ph/pid/tid", path, i, ev.Name)
+		}
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				name, _ := ev.Args["name"].(string)
+				if name == "" {
+					return fmt.Errorf("%s: event %d: process_name metadata without args.name", path, i)
+				}
+				procs[*ev.Pid] = name
+			}
+		case "X":
+			if ev.Ts == nil {
+				return fmt.Errorf("%s: event %d (%q) is a complete span without ts", path, i, ev.Name)
+			}
+			if ev.Dur > 0 {
+				spans++
+			}
+		}
+	}
+
+	names := make([]string, 0, len(procs))
+	byName := map[string]bool{}
+	for _, n := range procs {
+		names = append(names, n)
+		byName[n] = true
+	}
+	sort.Strings(names)
+	if len(procs) < 3 {
+		return fmt.Errorf("%s: %d process lanes %v, want >= 3", path, len(procs), names)
+	}
+	for _, want := range []string{"Sampler", "Trainer"} {
+		if !byName[want] {
+			return fmt.Errorf("%s: no %q process lane (got %v)", path, want, names)
+		}
+	}
+	if spans == 0 {
+		return fmt.Errorf("%s: no complete (ph=X) span with dur > 0", path)
+	}
+	fmt.Printf("%s: ok — %d events, %d timed spans, lanes %v\n", path, len(doc.TraceEvents), spans, names)
+	return nil
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
