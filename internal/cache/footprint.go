@@ -1,8 +1,6 @@
 package cache
 
 import (
-	"sort"
-
 	"gnnlab/internal/graph"
 	"gnnlab/internal/sampling"
 )
@@ -200,7 +198,8 @@ func Similarity(fi, fj EpochFootprint, topFraction float64) float64 {
 }
 
 // topSet returns the set of the top `fraction` vertices by visit count
-// among vertices visited at least once.
+// among vertices visited at least once, selecting (selectTop) rather than
+// sorting all visited vertices — only the chosen prefix is ever ordered.
 func topSet(visits []int64, fraction float64) map[int32]struct{} {
 	ids := make([]int32, 0, len(visits))
 	for v, c := range visits {
@@ -208,17 +207,17 @@ func topSet(visits []int64, fraction float64) map[int32]struct{} {
 			ids = append(ids, int32(v))
 		}
 	}
-	sort.Slice(ids, func(a, b int) bool {
-		ca, cb := visits[ids[a]], visits[ids[b]]
-		if ca != cb {
-			return ca > cb
-		}
-		return ids[a] < ids[b]
-	})
 	k := int(fraction * float64(len(visits)))
 	if k > len(ids) {
 		k = len(ids)
 	}
+	selectTop(ids, k, func(a, b int32) bool {
+		ca, cb := visits[a], visits[b]
+		if ca != cb {
+			return ca > cb
+		}
+		return a < b
+	})
 	set := make(map[int32]struct{}, k)
 	for _, v := range ids[:k] {
 		set[v] = struct{}{}

@@ -8,7 +8,6 @@ package cache
 
 import (
 	"fmt"
-	"sort"
 
 	"gnnlab/internal/graph"
 	"gnnlab/internal/rng"
@@ -55,20 +54,37 @@ type Hotness struct {
 func NewHotness(score []float64) Hotness { return Hotness{Score: score} }
 
 // Rank returns vertex IDs in descending hotness, ties broken by ascending
-// ID so rankings are deterministic.
+// ID so rankings are deterministic. Prefer RankTop when only a known
+// prefix is needed (the usual case: load_cache reads `slots` entries);
+// Rank remains for callers that reuse one ranking across many cache
+// ratios.
 func (h Hotness) Rank() []int32 {
+	return h.RankTop(len(h.Score))
+}
+
+// RankTop returns the k hottest vertex IDs in descending hotness, ties
+// broken by ascending ID — the same prefix Rank()[:k] would give, in
+// O(|V|) expected time instead of a full sort (selectTop). k is clamped
+// to the vertex count.
+func (h Hotness) RankTop(k int) []int32 {
 	ids := make([]int32, len(h.Score))
 	for i := range ids {
 		ids[i] = int32(i)
 	}
-	sort.Slice(ids, func(a, b int) bool {
-		sa, sb := h.Score[ids[a]], h.Score[ids[b]]
+	if k > len(ids) {
+		k = len(ids)
+	}
+	selectTop(ids, k, func(a, b int32) bool {
+		sa, sb := h.Score[a], h.Score[b]
 		if sa != sb {
 			return sa > sb
 		}
-		return ids[a] < ids[b]
+		return a < b
 	})
-	return ids
+	if k == len(ids) {
+		return ids
+	}
+	return ids[:k:k]
 }
 
 // DegreeHotness returns h_v = out-degree(v), the PaGraph metric.

@@ -32,11 +32,14 @@ func replaySampling[T any](
 	if w > len(cells) && len(cells) > 0 {
 		w = len(cells)
 	}
+	// Pooled clones: absorb consumes each sample before the worker's next
+	// call, so borrowed buffers are safe and the replay loop allocates
+	// nothing per cell in steady state.
 	accs := make([]T, w)
 	algs := make([]sampling.Algorithm, w)
 	for i := range accs {
 		accs[i] = newAcc()
-		algs[i] = sampling.CloneAlgorithm(alg)
+		algs[i] = sampling.ClonePooled(alg)
 	}
 	par.ForEach(workers, len(cells), func(worker, i int) {
 		c := cells[i]

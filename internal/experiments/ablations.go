@@ -124,8 +124,8 @@ func AblationSubgraph(o Options) (*Table, error) {
 
 		fp := cache.CollectFootprint(d.Graph, a.alg, d.TrainSet, o.batchSize(), o.Epochs, o.Seed)
 		slots := int(0.10 * float64(d.NumVertices()))
-		presc := cache.PreSC(d.Graph, a.alg, d.TrainSet, o.batchSize(), 1, o.Seed^0x12345).Hotness.Rank()
-		opt := fp.OptimalHotness().Rank()
+		presc := cache.PreSC(d.Graph, a.alg, d.TrainSet, o.batchSize(), 1, o.Seed^0x12345).Hotness.RankTop(slots)
+		opt := fp.OptimalHotness().RankTop(slots)
 		prescHR := fp.HitRate(presc, slots)
 		optHR := fp.HitRate(opt, slots)
 		rel := "-"
@@ -133,8 +133,8 @@ func AblationSubgraph(o Options) (*Table, error) {
 			rel = fmt.Sprintf("%.2f", prescHR/optHR)
 		}
 		t.AddRow(a.name, pct(sim),
-			pct(fp.HitRate(cache.RandomHotness(d.NumVertices(), rngFor(o)).Rank(), slots)),
-			pct(fp.HitRate(cache.DegreeHotness(d.Graph).Rank(), slots)),
+			pct(fp.HitRate(cache.RandomHotness(d.NumVertices(), rngFor(o)).RankTop(slots), slots)),
+			pct(fp.HitRate(cache.DegreeHotness(d.Graph).RankTop(slots), slots)),
 			pct(prescHR), pct(optHR), rel)
 	}
 	return t, nil

@@ -43,9 +43,9 @@ func AblationCoupling(o Options) (*Table, error) {
 		alg := sampling.ForGCN()
 		fp := cache.CollectFootprint(d.Graph, alg, d.TrainSet, o.batchSize(), o.Epochs, o.Seed)
 		slots := int(0.10 * float64(d.NumVertices()))
-		deg := fp.HitRate(cache.DegreeHotness(d.Graph).Rank(), slots)
-		pre := fp.HitRate(cache.PreSC(d.Graph, alg, d.TrainSet, o.batchSize(), 1, o.Seed^0x12345).Hotness.Rank(), slots)
-		opt := fp.HitRate(fp.OptimalHotness().Rank(), slots)
+		deg := fp.HitRate(cache.DegreeHotness(d.Graph).RankTop(slots), slots)
+		pre := fp.HitRate(cache.PreSC(d.Graph, alg, d.TrainSet, o.batchSize(), 1, o.Seed^0x12345).Hotness.RankTop(slots), slots)
+		opt := fp.HitRate(fp.OptimalHotness().RankTop(slots), slots)
 		t.AddRow(fmt.Sprintf("%.2f", coupling), pct(deg), pct(pre), pct(opt))
 	}
 	return t, nil

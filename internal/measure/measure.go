@@ -113,9 +113,13 @@ func Collect(d *gen.Dataset, spec Spec, alg sampling.Algorithm, workers int, rec
 	if w > len(cells) && len(cells) > 0 {
 		w = len(cells)
 	}
+	// Pooled clones: each worker's sampler reuses its scratch arena across
+	// cells, so steady-state Sample calls allocate nothing. Pooled samples
+	// are only valid until the worker's next call, so everything the Batch
+	// keeps (Input) is copied out below.
 	algs := make([]sampling.Algorithm, w)
 	for i := range algs {
-		algs[i] = sampling.CloneAlgorithm(alg)
+		algs[i] = sampling.ClonePooled(alg)
 	}
 	var lanes []obs.Lane
 	var cCells, cSampled, cScanned, cInput, cBytes *obs.Counter
@@ -142,12 +146,16 @@ func Collect(d *gen.Dataset, spec Spec, alg sampling.Algorithm, workers int, rec
 		for li, l := range s.Layers {
 			layers[li] = workload.LayerDims{Edges: len(l.Src), Targets: l.NumDst}
 		}
+		// The sample is pooled (borrowed until the next call on this
+		// worker); copy the retained input set out of the arena.
+		input := make([]int32, len(s.Input))
+		copy(input, s.Input)
 		m.Epochs[c.Epoch][c.Batch] = Batch{
 			SampledEdges: s.SampledEdges,
 			ScannedEdges: s.ScannedEdges,
 			Walks:        s.Walks,
 			SampleBytes:  s.Bytes(),
-			Input:        s.Input,
+			Input:        input,
 			Layers:       layers,
 		}
 		if sp != nil {
@@ -164,5 +172,19 @@ func Collect(d *gen.Dataset, spec Spec, alg sampling.Algorithm, workers int, rec
 			cBytes.Add(s.Bytes())
 		}
 	})
+	if rec != nil {
+		reg := rec.Registry()
+		var st sampling.ScratchStats
+		for _, a := range algs {
+			if s, ok := sampling.ScratchStatsOf(a); ok {
+				st.Samples += s.Samples
+				st.Reuses += s.Reuses
+				st.Grows += s.Grows
+			}
+		}
+		reg.Counter("measure.scratch_samples").Add(st.Samples)
+		reg.Counter("measure.scratch_reuses").Add(st.Reuses)
+		reg.Counter("measure.scratch_grows").Add(st.Grows)
+	}
 	return m
 }

@@ -1,12 +1,16 @@
 package measure
 
 import (
+	"bytes"
+	"encoding/gob"
 	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	"gnnlab/internal/gen"
+	"gnnlab/internal/obs"
+	"gnnlab/internal/sampling"
 	"gnnlab/internal/workload"
 )
 
@@ -146,5 +150,82 @@ func TestStoreKeysAndRankings(t *testing.T) {
 	}
 	if hits != 2 { // specA re-request + ranking re-request
 		t.Errorf("hits = %d, want 2", hits)
+	}
+}
+
+// TestCollectPooledMatchesFreshReference is the pooling differential test:
+// Collect (whose workers use pooled clones) must produce measurements
+// byte-identical to a hand-rolled serial collection using fresh-allocating
+// clones, at every worker count. This pins the arena's bit-identicality
+// contract end to end — same RNG draw order, same shapes, same input sets.
+func TestCollectPooledMatchesFreshReference(t *testing.T) {
+	d := testDataset(t)
+	spec, w := testSpec(d, workload.NewSpec(workload.GCN), 2)
+
+	// Serial reference with a fresh-allocation (non-pooled) clone.
+	alg := sampling.CloneAlgorithm(w.NewSampler())
+	sampling.Prepare(alg, d.Graph)
+	cells := sampling.PlanEpochs(d.TrainSet, spec.BatchSize, spec.Epochs, spec.Seed)
+	ref := &Measurement{Spec: spec, Dataset: d, Epochs: make([][]Batch, spec.Epochs)}
+	perEpoch := sampling.NumBatches(len(d.TrainSet), spec.BatchSize)
+	for e := range ref.Epochs {
+		ref.Epochs[e] = make([]Batch, perEpoch)
+	}
+	for _, c := range cells {
+		s := alg.Sample(d.Graph, c.Seeds, c.R)
+		layers := make([]workload.LayerDims, len(s.Layers))
+		for li, l := range s.Layers {
+			layers[li] = workload.LayerDims{Edges: len(l.Src), Targets: l.NumDst}
+		}
+		ref.Epochs[c.Epoch][c.Batch] = Batch{
+			SampledEdges: s.SampledEdges,
+			ScannedEdges: s.ScannedEdges,
+			Walks:        s.Walks,
+			SampleBytes:  s.Bytes(),
+			Input:        s.Input,
+			Layers:       layers,
+		}
+	}
+	refBytes := gobEpochs(t, ref.Epochs)
+
+	for _, workers := range []int{1, 2, 4} {
+		got := Collect(d, spec, w.NewSampler(), workers, nil)
+		if !reflect.DeepEqual(ref.Epochs, got.Epochs) {
+			t.Errorf("workers=%d: pooled Collect differs from fresh serial reference", workers)
+		}
+		if !bytes.Equal(refBytes, gobEpochs(t, got.Epochs)) {
+			t.Errorf("workers=%d: serialized measurements differ", workers)
+		}
+	}
+}
+
+func gobEpochs(t *testing.T, epochs [][]Batch) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(epochs); err != nil {
+		t.Fatalf("gob: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestCollectScratchCounters checks the arena statistics exported through
+// the recorder: with pooled workers the reuse counter must track the cell
+// count while growth settles.
+func TestCollectScratchCounters(t *testing.T) {
+	d := testDataset(t)
+	spec, w := testSpec(d, workload.NewSpec(workload.GCN), 2)
+	rec := obs.NewRecorder()
+	Collect(d, spec, w.NewSampler(), 2, rec)
+	vals := rec.Registry().Snapshot().Counters
+	cellCount := vals["measure.cells"]
+	if cellCount == 0 {
+		t.Fatal("no cells recorded")
+	}
+	if vals["measure.scratch_samples"] != cellCount {
+		t.Errorf("scratch_samples = %d, want %d (one per cell)",
+			vals["measure.scratch_samples"], cellCount)
+	}
+	if r := vals["measure.scratch_reuses"]; r <= 0 || r >= cellCount {
+		t.Errorf("scratch_reuses = %d, want in (0, %d)", r, cellCount)
 	}
 }

@@ -42,9 +42,10 @@ type KHop struct {
 	Fanouts []int
 	Method  NeighborMethod
 
-	// scratch reused across Sample calls; a KHop value is therefore not
-	// safe for concurrent use — clone per executor with Clone.
-	scratch []int32
+	// sc is the reusable arena behind Sample; a KHop value is therefore
+	// not safe for concurrent use — clone per executor with Clone (or
+	// ClonePooled for borrowed, zero-allocation samples).
+	sc *scratch
 }
 
 // NewKHop returns a k-hop sampler with the given per-layer fanouts.
@@ -64,6 +65,14 @@ func NewKHop(fanouts []int, method NeighborMethod) *KHop {
 // scratch state.
 func (k *KHop) Clone() Algorithm { return NewKHop(k.Fanouts, k.Method) }
 
+// scratchArena implements scratchOwner, creating the arena on first use.
+func (k *KHop) scratchArena() *scratch {
+	if k.sc == nil {
+		k.sc = &scratch{}
+	}
+	return k.sc
+}
+
 // Name implements Algorithm.
 func (k *KHop) Name() string {
 	return fmt.Sprintf("%d-hop-random(%s)", len(k.Fanouts), k.Method)
@@ -74,41 +83,40 @@ func (k *KHop) NumHops() int { return len(k.Fanouts) }
 
 // Sample implements Algorithm.
 func (k *KHop) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
+	sc := k.scratchArena()
 	expect := expectedVertices(len(seeds), k.Fanouts)
-	loc := newLocalizer(expect)
-	s := &Sample{Seeds: seeds, Layers: make([]Layer, 0, len(k.Fanouts))}
+	loc, s := sc.begin(seeds, expect, len(k.Fanouts))
 	for _, seed := range seeds {
 		loc.add(seed)
 	}
 	frontierStart := 0
-	for _, fanout := range k.Fanouts {
+	for li, fanout := range k.Fanouts {
 		frontierEnd := loc.numVertices()
 		layer := Layer{NumDst: frontierEnd - frontierStart}
-		capHint := layer.NumDst * fanout
-		layer.Src = make([]int32, 0, capHint)
-		layer.Dst = make([]int32, 0, capHint)
+		src, dst := sc.layerStart(li, layer.NumDst*fanout)
 		for dstLocal := frontierStart; dstLocal < frontierEnd; dstLocal++ {
 			v := loc.input[dstLocal]
 			adj := g.Adj(v)
-			picked, scanned := k.pickUniform(adj, fanout, r)
+			picked, scanned := k.pickUniform(sc, adj, fanout, r)
 			s.SampledEdges += int64(len(picked))
 			s.ScannedEdges += scanned
 			for _, nbr := range picked {
-				layer.Src = append(layer.Src, loc.add(nbr))
-				layer.Dst = append(layer.Dst, int32(dstLocal))
+				src = append(src, loc.add(nbr))
+				dst = append(dst, int32(dstLocal))
 			}
 		}
+		sc.layerEnd(li, src, dst)
+		layer.Src, layer.Dst = src, dst
 		layer.NumVertices = loc.numVertices()
 		s.Layers = append(s.Layers, layer)
 		frontierStart = frontierEnd
 	}
-	s.Input = loc.input
-	return s
+	return sc.finish(s)
 }
 
 // pickUniform returns up to fanout uniform neighbors without replacement
 // and the number of adjacency entries scanned (the cost basis).
-func (k *KHop) pickUniform(adj []int32, fanout int, r *rng.Rand) ([]int32, int64) {
+func (k *KHop) pickUniform(sc *scratch, adj []int32, fanout int, r *rng.Rand) ([]int32, int64) {
 	d := len(adj)
 	if d == 0 {
 		return nil, 0
@@ -118,10 +126,7 @@ func (k *KHop) pickUniform(adj []int32, fanout int, r *rng.Rand) ([]int32, int64
 	}
 	switch k.Method {
 	case Reservoir:
-		if cap(k.scratch) < fanout {
-			k.scratch = make([]int32, fanout)
-		}
-		res := k.scratch[:fanout]
+		res := sc.pickBuf(fanout)
 		copy(res, adj[:fanout])
 		for i := fanout; i < d; i++ {
 			j := r.Intn(i + 1)
@@ -131,10 +136,7 @@ func (k *KHop) pickUniform(adj []int32, fanout int, r *rng.Rand) ([]int32, int64
 		}
 		return res, int64(d) // reservoir scans the full list
 	default: // FisherYates
-		if cap(k.scratch) < d {
-			k.scratch = make([]int32, d)
-		}
-		buf := k.scratch[:d]
+		buf := sc.pickBuf(d)
 		copy(buf, adj)
 		for i := 0; i < fanout; i++ {
 			j := i + r.Intn(d-i)
@@ -144,16 +146,27 @@ func (k *KHop) pickUniform(adj []int32, fanout int, r *rng.Rand) ([]int32, int64
 	}
 }
 
+// maxExpectedVertices caps the localizer sizing hint: beyond this the
+// dedup table would outweigh any frontier worth pre-sizing for.
+const maxExpectedVertices = 1 << 22
+
 // expectedVertices estimates the unique-vertex count for sizing the
-// localizer: the full fanout tree is an upper bound, dedup brings it down.
+// localizer: the full fanout tree is an upper bound, dedup brings it
+// down. The per-layer product is bounds-checked before multiplying so
+// large seed sets times deep fanouts cannot overflow int — once a layer
+// would exceed the cap the total would too, so returning the cap early
+// is exact.
 func expectedVertices(seeds int, fanouts []int) int {
 	total := seeds
 	layer := seeds
 	for _, f := range fanouts {
+		if f > 0 && layer > maxExpectedVertices/f {
+			return maxExpectedVertices
+		}
 		layer *= f
 		total += layer
-		if total > 1<<22 {
-			return 1 << 22
+		if total > maxExpectedVertices {
+			return maxExpectedVertices
 		}
 	}
 	return total

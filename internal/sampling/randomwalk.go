@@ -2,7 +2,6 @@ package sampling
 
 import (
 	"fmt"
-	"sort"
 
 	"gnnlab/internal/graph"
 	"gnnlab/internal/rng"
@@ -17,6 +16,15 @@ type RandomWalk struct {
 	NumPaths     int
 	WalkLength   int
 	NumNeighbors int
+
+	// fanouts caches Layers copies of NumNeighbors for localizer sizing,
+	// so Sample does not rebuild it per call. Nil when the struct was
+	// built without the constructor; only a sizing hint either way.
+	fanouts []int
+
+	// sc is the reusable arena behind Sample (visit counter, top-k
+	// selection, sample buffers); clone per executor.
+	sc *scratch
 }
 
 // NewRandomWalk returns a PinSAGE-style sampler. The paper's PinSAGE setup
@@ -26,18 +34,34 @@ func NewRandomWalk(layers, numPaths, walkLength, numNeighbors int) *RandomWalk {
 	if layers <= 0 || numPaths <= 0 || walkLength <= 0 || numNeighbors <= 0 {
 		panic("sampling: NewRandomWalk with non-positive parameter")
 	}
+	fanouts := make([]int, layers)
+	for i := range fanouts {
+		fanouts[i] = numNeighbors
+	}
 	return &RandomWalk{
 		Layers:       layers,
 		NumPaths:     numPaths,
 		WalkLength:   walkLength,
 		NumNeighbors: numNeighbors,
+		fanouts:      fanouts,
 	}
 }
 
-// Clone returns an independent sampler (RandomWalk is stateless, so the
-// receiver itself is safe to share, but Clone keeps the executor contract
-// uniform).
-func (w *RandomWalk) Clone() Algorithm { return w }
+// Clone returns an independent sampler sharing configuration but not
+// scratch state.
+func (w *RandomWalk) Clone() Algorithm {
+	c := *w
+	c.sc = nil
+	return &c
+}
+
+// scratchArena implements scratchOwner, creating the arena on first use.
+func (w *RandomWalk) scratchArena() *scratch {
+	if w.sc == nil {
+		w.sc = &scratch{}
+	}
+	return w.sc
+}
 
 // Name implements Algorithm.
 func (w *RandomWalk) Name() string {
@@ -49,27 +73,20 @@ func (w *RandomWalk) NumHops() int { return w.Layers }
 
 // Sample implements Algorithm.
 func (w *RandomWalk) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
-	fanouts := make([]int, w.Layers)
-	for i := range fanouts {
-		fanouts[i] = w.NumNeighbors
-	}
-	expect := expectedVertices(len(seeds), fanouts)
-	loc := newLocalizer(expect)
-	s := &Sample{Seeds: seeds, Layers: make([]Layer, 0, w.Layers)}
+	sc := w.scratchArena()
+	expect := expectedVertices(len(seeds), w.fanouts)
+	loc, s := sc.begin(seeds, expect, w.Layers)
 	for _, seed := range seeds {
 		loc.add(seed)
 	}
-	visits := make(map[int32]int32, w.NumPaths*w.WalkLength)
 	frontierStart := 0
 	for layerIdx := 0; layerIdx < w.Layers; layerIdx++ {
 		frontierEnd := loc.numVertices()
 		layer := Layer{NumDst: frontierEnd - frontierStart}
-		capHint := layer.NumDst * w.NumNeighbors
-		layer.Src = make([]int32, 0, capHint)
-		layer.Dst = make([]int32, 0, capHint)
+		src, dst := sc.layerStart(layerIdx, layer.NumDst*w.NumNeighbors)
 		for dstLocal := frontierStart; dstLocal < frontierEnd; dstLocal++ {
 			v := loc.input[dstLocal]
-			clear(visits)
+			sc.stats.Grows += sc.visits.reset(w.NumPaths * w.WalkLength)
 			for p := 0; p < w.NumPaths; p++ {
 				cur := v
 				for step := 0; step < w.WalkLength; step++ {
@@ -78,51 +95,22 @@ func (w *RandomWalk) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
 						break
 					}
 					cur = adj[r.Intn(len(adj))]
-					visits[cur]++
+					sc.visits.inc(cur)
 					s.Walks++
 					s.ScannedEdges++
 				}
 			}
-			for _, nbr := range topVisited(visits, w.NumNeighbors, v) {
-				layer.Src = append(layer.Src, loc.add(nbr))
-				layer.Dst = append(layer.Dst, int32(dstLocal))
+			for _, nbr := range sc.topVisited(w.NumNeighbors, v) {
+				src = append(src, loc.add(nbr))
+				dst = append(dst, int32(dstLocal))
 				s.SampledEdges++
 			}
 		}
+		sc.layerEnd(layerIdx, src, dst)
+		layer.Src, layer.Dst = src, dst
 		layer.NumVertices = loc.numVertices()
 		s.Layers = append(s.Layers, layer)
 		frontierStart = frontierEnd
 	}
-	s.Input = loc.input
-	return s
-}
-
-// topVisited returns up to k most-visited vertices (excluding self), ties
-// broken by ascending vertex ID for determinism.
-func topVisited(visits map[int32]int32, k int, self int32) []int32 {
-	type vc struct {
-		v int32
-		c int32
-	}
-	cand := make([]vc, 0, len(visits))
-	for v, c := range visits {
-		if v == self {
-			continue
-		}
-		cand = append(cand, vc{v, c})
-	}
-	sort.Slice(cand, func(i, j int) bool {
-		if cand[i].c != cand[j].c {
-			return cand[i].c > cand[j].c
-		}
-		return cand[i].v < cand[j].v
-	})
-	if len(cand) > k {
-		cand = cand[:k]
-	}
-	out := make([]int32, len(cand))
-	for i, c := range cand {
-		out[i] = c.v
-	}
-	return out
+	return sc.finish(s)
 }

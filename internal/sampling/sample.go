@@ -89,6 +89,9 @@ func (s *Sample) Validate() error {
 		}
 		seen[global] = true
 	}
+	if s.CachedMask != nil && len(s.CachedMask) != len(s.Input) {
+		return fmt.Errorf("sampling: CachedMask covers %d vertices, input has %d", len(s.CachedMask), len(s.Input))
+	}
 	known := len(s.Seeds)
 	for li, l := range s.Layers {
 		if len(l.Src) != len(l.Dst) {
@@ -131,27 +134,62 @@ type Algorithm interface {
 }
 
 // localizer assigns consecutive local IDs to global vertex IDs — the
-// dedup+remap step of Figure 1. It uses open addressing keyed by global ID,
-// sized for the expected frontier, because this is the hottest path of the
-// Sample stage.
+// dedup+remap step of Figure 1. It uses open addressing keyed by global
+// ID because this is the hottest path of the Sample stage. Slots are
+// generation-stamped: a slot is occupied only if its gen entry matches
+// the current generation, so reset is a counter bump instead of a table
+// clear and the same table serves every Sample call of an executor.
+// Local ID assignment depends only on insertion order, never on table
+// geometry, so reuse cannot change a sample.
 type localizer struct {
-	keys   []int32 // global ID + 1, 0 = empty
-	vals   []int32 // local ID
+	keys   []int32  // global ID, valid where gen matches cur
+	vals   []int32  // local ID
+	gen    []uint32 // slot generation stamp
+	cur    uint32   // current generation
 	mask   uint32
 	input  []int32
 	filled int
+	// grows counts table (re)allocations since last harvested by the
+	// owning scratch arena's stats.
+	grows int64
 }
 
+// newLocalizer returns a localizer ready for roughly `expected` vertices.
 func newLocalizer(expected int) *localizer {
+	m := &localizer{}
+	m.reset(expected, false)
+	return m
+}
+
+// reset empties the localizer for a new Sample call. The hash table is
+// kept (stamp bump) and grown only if `expected` outsizes it. When
+// reuseInput is true the input buffer is recycled too — pooled mode —
+// otherwise a fresh escaping buffer is allocated, matching the
+// historical per-call behavior.
+func (m *localizer) reset(expected int, reuseInput bool) {
 	size := 64
 	for size < expected*2 {
 		size <<= 1
 	}
-	return &localizer{
-		keys:  make([]int32, size),
-		vals:  make([]int32, size),
-		mask:  uint32(size - 1),
-		input: make([]int32, 0, expected),
+	if len(m.keys) < size {
+		m.keys = make([]int32, size)
+		m.vals = make([]int32, size)
+		m.gen = make([]uint32, size)
+		m.mask = uint32(size - 1)
+		m.cur = 1
+		m.grows++
+	} else {
+		m.cur++
+		if m.cur == 0 { // generation wrapped: stamps are ambiguous
+			clear(m.gen)
+			m.cur = 1
+		}
+	}
+	m.filled = 0
+	if reuseInput {
+		m.input = m.input[:0]
+	} else {
+		m.input = make([]int32, 0, expected)
 	}
 }
 
@@ -159,39 +197,59 @@ func newLocalizer(expected int) *localizer {
 func (m *localizer) add(global int32) int32 {
 	h := uint32(global+1) * 2654435761 & m.mask
 	for {
-		k := m.keys[h]
-		if k == 0 {
+		if m.gen[h] != m.cur {
 			if m.filled*2 >= len(m.keys) {
 				m.grow()
 				return m.add(global)
 			}
-			m.keys[h] = global + 1
+			m.gen[h] = m.cur
+			m.keys[h] = global
 			local := int32(len(m.input))
 			m.vals[h] = local
 			m.input = append(m.input, global)
 			m.filled++
 			return local
 		}
-		if k == global+1 {
+		if m.keys[h] == global {
 			return m.vals[h]
 		}
 		h = (h + 1) & m.mask
 	}
 }
 
+// lookup returns the local ID of global without inserting.
+func (m *localizer) lookup(global int32) (int32, bool) {
+	h := uint32(global+1) * 2654435761 & m.mask
+	for {
+		if m.gen[h] != m.cur {
+			return 0, false
+		}
+		if m.keys[h] == global {
+			return m.vals[h], true
+		}
+		h = (h + 1) & m.mask
+	}
+}
+
 func (m *localizer) grow() {
-	oldKeys, oldVals := m.keys, m.vals
-	m.keys = make([]int32, len(oldKeys)*2)
-	m.vals = make([]int32, len(oldVals)*2)
-	m.mask = uint32(len(m.keys) - 1)
-	for i, k := range oldKeys {
-		if k == 0 {
+	oldKeys, oldVals, oldGen, oldCur := m.keys, m.vals, m.gen, m.cur
+	size := len(oldKeys) * 2
+	m.keys = make([]int32, size)
+	m.vals = make([]int32, size)
+	m.gen = make([]uint32, size)
+	m.mask = uint32(size - 1)
+	m.cur = 1
+	m.grows++
+	for i, g := range oldGen {
+		if g != oldCur {
 			continue
 		}
-		h := uint32(k) * 2654435761 & m.mask
-		for m.keys[h] != 0 {
+		k := oldKeys[i]
+		h := uint32(k+1) * 2654435761 & m.mask
+		for m.gen[h] == m.cur {
 			h = (h + 1) & m.mask
 		}
+		m.gen[h] = m.cur
 		m.keys[h] = k
 		m.vals[h] = oldVals[i]
 	}

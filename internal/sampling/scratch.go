@@ -1,0 +1,294 @@
+package sampling
+
+// The sampling hot path is allocation-bound, not arithmetic-bound: every
+// Sample call used to build a fresh localizer hash table, fresh
+// Src/Dst/Input slices and — in the walk- and subgraph-based algorithms —
+// Go maps for dedup and visit counting. This file gives each algorithm
+// instance a reusable scratch arena instead. Two invariants make it safe:
+//
+//  1. Buffers that never escape into the returned *Sample (hash tables,
+//     pick buffers, visit counters, member lists, stamped sets) are
+//     always reused across calls. An algorithm instance is already not
+//     safe for concurrent use (clone per executor), so this changes
+//     nothing observable.
+//  2. Buffers that do escape (the Sample header, Input, Layers, Src,
+//     Dst) are reused only in pooled mode (ClonePooled). A pooled
+//     clone's Sample is valid until the clone's next Sample call;
+//     callers that retain data across calls must copy it first.
+//
+// Resets are O(1): stamped structures bump a generation counter instead
+// of zeroing or reallocating, so steady-state Sample calls on a pooled
+// clone perform zero heap allocations (pinned by TestSampleSteadyStateZeroAllocs).
+// Pooling never changes results: local IDs depend only on insertion
+// order, not table geometry, and no RNG draw moves — pooled and fresh
+// runs are bit-identical (TestPooledMatchesFresh).
+
+// ScratchStats counts how an algorithm's scratch arena behaved, for the
+// obs counters the measurement engine exports (measure.scratch_*).
+type ScratchStats struct {
+	// Samples is the number of Sample calls served by this arena.
+	Samples int64
+	// Reuses counts pooled calls that handed out recycled escaping
+	// buffers (every pooled call after the first).
+	Reuses int64
+	// Grows counts backing-array growths: localizer rebuilds, stamped-set
+	// resizes and layer-buffer reallocations. A steady state has Reuses
+	// rising and Grows flat.
+	Grows int64
+}
+
+// scratch is the per-algorithm-instance arena. Fields are grouped by the
+// algorithms that use them; unused groups stay nil and cost nothing.
+type scratch struct {
+	pooled bool
+	stats  ScratchStats
+
+	// Escaping buffers (pooled mode only).
+	loc    localizer
+	samp   Sample
+	layers []Layer
+	srcBuf [][]int32 // per-layer Src backing
+	dstBuf [][]int32 // per-layer Dst backing
+
+	// KHop / WeightedKHop: neighbor pick buffer.
+	pick []int32
+
+	// RandomWalk: stamped visit counter and top-k selection buffers.
+	visits visitCounter
+	cand   []visitCand
+	top    []int32
+
+	// Subgraph algorithms: member list, vertex-membership stamp, cluster
+	// pick stamp and cluster order.
+	members []int32
+	seen    stampSet
+	picked  stampSet
+	order   []int32
+}
+
+// begin starts one Sample call: it resets the localizer for the expected
+// vertex count and returns the localizer plus the Sample to fill. In
+// pooled mode both come from the arena; otherwise the escaping pieces
+// are freshly allocated exactly as the pre-arena code did.
+func (sc *scratch) begin(seeds []int32, expected, hops int) (*localizer, *Sample) {
+	sc.stats.Samples++
+	if !sc.pooled {
+		sc.loc.reset(expected, false)
+		return &sc.loc, &Sample{Seeds: seeds, Layers: make([]Layer, 0, hops)}
+	}
+	if sc.stats.Samples > 1 {
+		sc.stats.Reuses++
+	}
+	sc.loc.reset(expected, true)
+	if cap(sc.layers) < hops {
+		sc.layers = make([]Layer, 0, hops)
+		sc.stats.Grows++
+	}
+	sc.samp = Sample{Seeds: seeds, Layers: sc.layers[:0]}
+	return &sc.loc, &sc.samp
+}
+
+// layerStart hands out the Src/Dst backing buffers for layer li.
+func (sc *scratch) layerStart(li, capHint int) (src, dst []int32) {
+	if !sc.pooled {
+		return make([]int32, 0, capHint), make([]int32, 0, capHint)
+	}
+	for len(sc.srcBuf) <= li {
+		sc.srcBuf = append(sc.srcBuf, nil)
+		sc.dstBuf = append(sc.dstBuf, nil)
+	}
+	return sc.srcBuf[li][:0], sc.dstBuf[li][:0]
+}
+
+// layerEnd stores the (possibly grown) buffers back so capacity persists
+// across calls.
+func (sc *scratch) layerEnd(li int, src, dst []int32) {
+	if !sc.pooled {
+		return
+	}
+	if cap(src) > cap(sc.srcBuf[li]) || cap(dst) > cap(sc.dstBuf[li]) {
+		sc.stats.Grows++
+	}
+	sc.srcBuf[li], sc.dstBuf[li] = src, dst
+}
+
+// finish seals the Sample: Input is the localizer's dense ID list, and in
+// pooled mode the Layers backing is stored back for the next call.
+func (sc *scratch) finish(s *Sample) *Sample {
+	s.Input = sc.loc.input
+	sc.stats.Grows += sc.loc.grows
+	sc.loc.grows = 0
+	if sc.pooled {
+		sc.layers = s.Layers
+	}
+	return s
+}
+
+// pickBuf returns the neighbor pick buffer with capacity ≥ n. Never
+// escapes, so it is reused in both modes.
+func (sc *scratch) pickBuf(n int) []int32 {
+	if cap(sc.pick) < n {
+		sc.pick = make([]int32, n)
+		sc.stats.Grows++
+	}
+	return sc.pick[:n]
+}
+
+// scratchOwner is implemented by the built-in algorithms; it exposes the
+// lazily created arena so ClonePooled and ScratchStatsOf stay uniform.
+type scratchOwner interface {
+	scratchArena() *scratch
+}
+
+// ClonePooled returns an executor-private clone of alg with buffer
+// pooling enabled: each returned *Sample — including its Input, Layers
+// and per-layer Src/Dst slices — is valid only until the clone's next
+// Sample call. Callers that retain sample data across calls (e.g. the
+// measurement engine's Batch records) must copy what they keep. The
+// sampled stream is bit-identical to a fresh-allocation clone's.
+// Algorithms that do not own a scratch arena fall back to CloneAlgorithm.
+func ClonePooled(alg Algorithm) Algorithm {
+	c := CloneAlgorithm(alg)
+	if o, ok := c.(scratchOwner); ok {
+		o.scratchArena().pooled = true
+	}
+	return c
+}
+
+// ScratchStatsOf reports alg's arena counters; ok is false for custom
+// algorithms without an arena.
+func ScratchStatsOf(alg Algorithm) (stats ScratchStats, ok bool) {
+	if o, isOwner := alg.(scratchOwner); isOwner {
+		return o.scratchArena().stats, true
+	}
+	return ScratchStats{}, false
+}
+
+// stampSet is a dense membership set over [0, n) with O(1) generation-
+// stamped reset: v is a member iff gen[v] equals the current generation.
+type stampSet struct {
+	gen []uint32
+	cur uint32
+}
+
+// reset empties the set for a domain of size n; returns 1 if the backing
+// array had to grow (for the arena's Grows counter).
+func (s *stampSet) reset(n int) int64 {
+	if len(s.gen) < n {
+		s.gen = make([]uint32, n)
+		s.cur = 1
+		return 1
+	}
+	s.cur++
+	if s.cur == 0 { // generation counter wrapped: stamps are ambiguous
+		clear(s.gen)
+		s.cur = 1
+	}
+	return 0
+}
+
+// add inserts v, reporting whether it was new.
+func (s *stampSet) add(v int32) bool {
+	if s.gen[v] == s.cur {
+		return false
+	}
+	s.gen[v] = s.cur
+	return true
+}
+
+// visitCand pairs a visited vertex with its walk visit count.
+type visitCand struct {
+	v int32
+	c int32
+}
+
+// visitCounter counts visits per vertex during one frontier vertex's
+// random walks: a small open-addressed, generation-stamped hash table
+// plus the slot order of first visits (for deterministic iteration). A
+// walk visits at most NumPaths×WalkLength distinct vertices, so a table
+// sized 2× that bound never fills past half and never needs to grow.
+type visitCounter struct {
+	keys  []int32
+	cnt   []int32
+	gen   []uint32
+	cur   uint32
+	mask  uint32
+	order []int32 // slot indexes in first-visit order
+}
+
+// reset empties the counter for up to `expected` distinct vertices;
+// returns 1 if the table had to be (re)allocated.
+func (c *visitCounter) reset(expected int) int64 {
+	size := 16
+	for size < expected*2 {
+		size <<= 1
+	}
+	c.order = c.order[:0]
+	if len(c.keys) < size {
+		c.keys = make([]int32, size)
+		c.cnt = make([]int32, size)
+		c.gen = make([]uint32, size)
+		c.mask = uint32(size - 1)
+		c.cur = 1
+		return 1
+	}
+	c.cur++
+	if c.cur == 0 {
+		clear(c.gen)
+		c.cur = 1
+	}
+	return 0
+}
+
+// inc adds one visit to v.
+func (c *visitCounter) inc(v int32) {
+	h := uint32(v+1) * 2654435761 & c.mask
+	for {
+		if c.gen[h] != c.cur {
+			c.gen[h] = c.cur
+			c.keys[h] = v
+			c.cnt[h] = 1
+			c.order = append(c.order, int32(h))
+			return
+		}
+		if c.keys[h] == v {
+			c.cnt[h]++
+			return
+		}
+		h = (h + 1) & c.mask
+	}
+}
+
+// topVisited returns up to k most-visited vertices (excluding self), ties
+// broken by ascending vertex ID — the same sequence the former full
+// map-sort produced, via a bounded selection: a selection sort of only
+// the k requested positions, O(k·m) for the m ≤ NumPaths×WalkLength
+// candidates instead of O(m log m) plus a map traversal.
+func (sc *scratch) topVisited(k int, self int32) []int32 {
+	cand := sc.cand[:0]
+	for _, h := range sc.visits.order {
+		v := sc.visits.keys[h]
+		if v == self {
+			continue
+		}
+		cand = append(cand, visitCand{v: v, c: sc.visits.cnt[h]})
+	}
+	if k > len(cand) {
+		k = len(cand)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(cand); j++ {
+			if cand[j].c > cand[best].c || (cand[j].c == cand[best].c && cand[j].v < cand[best].v) {
+				best = j
+			}
+		}
+		cand[i], cand[best] = cand[best], cand[i]
+	}
+	out := sc.top[:0]
+	for _, c := range cand[:k] {
+		out = append(out, c.v)
+	}
+	sc.cand, sc.top = cand, out
+	return out
+}

@@ -3,6 +3,7 @@ package sampling
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"gnnlab/internal/graph"
 	"gnnlab/internal/rng"
@@ -19,36 +20,40 @@ import (
 // member vertex and whose edges are the induced adjacency. NumHops() is 1;
 // models consuming these samples apply their convolutions over the same
 // induced structure at every layer (as ClusterGCN does).
+//
+// Member selection runs on the arena's generation-stamped structures:
+// a dense stampSet over vertices replaces the per-call seen/picked maps,
+// and the induced-adjacency pass probes the localizer itself (lookup)
+// instead of building a members→locals map — the localizer already holds
+// exactly that mapping.
 
 // inducedSample builds the single-layer induced-subgraph sample for the
-// given member set (seeds must be a prefix of members).
-func inducedSample(g *graph.CSR, seeds, members []int32) *Sample {
-	loc := newLocalizer(len(members) * 2)
-	s := &Sample{Seeds: seeds, Subgraph: true}
+// given member set (seeds must be a prefix of members) on sc's buffers.
+func inducedSample(g *graph.CSR, seeds, members []int32, sc *scratch) *Sample {
+	loc, s := sc.begin(seeds, len(members)*2, 1)
+	s.Subgraph = true
 	for _, v := range members {
 		loc.add(v)
 	}
-	inSet := make(map[int32]int32, len(members))
-	for local, v := range loc.input {
-		inSet[v] = int32(local)
-	}
 	layer := Layer{NumDst: len(members)}
+	src, dst := sc.layerStart(0, 0)
 	for dstLocal, v := range loc.input {
 		for _, nbr := range g.Adj(v) {
-			srcLocal, ok := inSet[nbr]
+			srcLocal, ok := loc.lookup(nbr)
 			if !ok {
 				continue
 			}
-			layer.Src = append(layer.Src, srcLocal)
-			layer.Dst = append(layer.Dst, int32(dstLocal))
+			src = append(src, srcLocal)
+			dst = append(dst, int32(dstLocal))
 			s.SampledEdges++
 		}
 		s.ScannedEdges += g.Degree(v)
 	}
+	sc.layerEnd(0, src, dst)
+	layer.Src, layer.Dst = src, dst
 	layer.NumVertices = loc.numVertices()
-	s.Layers = []Layer{layer}
-	s.Input = loc.input
-	return s
+	s.Layers = append(s.Layers, layer)
+	return sc.finish(s)
 }
 
 // ClusterGCN is the cluster-based subgraph sampler [15]: the graph is
@@ -62,10 +67,16 @@ type ClusterGCN struct {
 	// partition is built exactly once (behind a sync.Once) and shared
 	// across clones, so concurrent executors read immutable data.
 	partitions *sync.Map
+
+	// sc is the reusable arena behind Sample; clone per executor.
+	sc *scratch
 }
 
 type clusterState struct {
-	once     sync.Once
+	once sync.Once
+	// done publishes the build so the hot path can skip the once.Do
+	// closure (which allocates).
+	done     atomic.Bool
 	clusters [][]int32
 	assign   []int32
 }
@@ -78,8 +89,20 @@ func NewClusterGCN(numClusters int, seed uint64) *ClusterGCN {
 	return &ClusterGCN{NumClusters: numClusters, Seed: seed, partitions: &sync.Map{}}
 }
 
-// Clone shares the partition across executors.
-func (c *ClusterGCN) Clone() Algorithm { return c }
+// Clone shares the partition across executors but not scratch state.
+func (c *ClusterGCN) Clone() Algorithm {
+	clone := *c
+	clone.sc = nil
+	return &clone
+}
+
+// scratchArena implements scratchOwner, creating the arena on first use.
+func (c *ClusterGCN) scratchArena() *scratch {
+	if c.sc == nil {
+		c.sc = &scratch{}
+	}
+	return c.sc
+}
 
 // Name implements Algorithm.
 func (c *ClusterGCN) Name() string { return fmt.Sprintf("cluster-gcn(%d)", c.NumClusters) }
@@ -92,11 +115,18 @@ func (c *ClusterGCN) NumHops() int { return 1 }
 func (c *ClusterGCN) Prepare(g *graph.CSR) { c.ensure(g) }
 
 func (c *ClusterGCN) ensure(g *graph.CSR) *clusterState {
+	if e, ok := c.partitions.Load(g); ok {
+		st := e.(*clusterState)
+		if st.done.Load() {
+			return st
+		}
+	}
 	e, _ := c.partitions.LoadOrStore(g, &clusterState{})
 	st := e.(*clusterState)
 	st.once.Do(func() {
 		st.clusters = graph.Partition(g, c.NumClusters, c.Seed)
 		st.assign = graph.PartitionAssignment(st.clusters, g.NumVertices())
+		st.done.Store(true)
 	})
 	return st
 }
@@ -106,17 +136,18 @@ func (c *ClusterGCN) ensure(g *graph.CSR) *clusterState {
 func (c *ClusterGCN) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
 	st := c.ensure(g)
 	_ = r
-	seen := map[int32]bool{}
-	members := append([]int32(nil), seeds...)
+	sc := c.scratchArena()
+	sc.stats.Grows += sc.seen.reset(g.NumVertices())
+	members := sc.members[:0]
+	members = append(members, seeds...)
 	for _, v := range seeds {
-		seen[v] = true
+		sc.seen.add(v)
 	}
-	picked := map[int32]bool{}
-	var order []int32
+	sc.stats.Grows += sc.picked.reset(len(st.clusters))
+	order := sc.order[:0]
 	for _, v := range seeds {
 		cid := st.assign[v]
-		if !picked[cid] {
-			picked[cid] = true
+		if sc.picked.add(cid) {
 			order = append(order, cid)
 		}
 	}
@@ -124,13 +155,13 @@ func (c *ClusterGCN) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
 	// list — and therefore the sample — is deterministic.
 	for _, cid := range order {
 		for _, v := range st.clusters[cid] {
-			if !seen[v] {
-				seen[v] = true
+			if sc.seen.add(v) {
 				members = append(members, v)
 			}
 		}
 	}
-	return inducedSample(g, seeds, members)
+	sc.members, sc.order = members, order
+	return inducedSample(g, seeds, members, sc)
 }
 
 // SAINTNode is GraphSAINT's node sampler [61]: the member set is the seeds
@@ -138,6 +169,9 @@ func (c *ClusterGCN) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
 // induced subgraph.
 type SAINTNode struct {
 	Budget int
+
+	// sc is the reusable arena behind Sample; clone per executor.
+	sc *scratch
 }
 
 // NewSAINTNode returns a node-budget subgraph sampler.
@@ -148,37 +182,55 @@ func NewSAINTNode(budget int) *SAINTNode {
 	return &SAINTNode{Budget: budget}
 }
 
-// Clone implements Cloner (stateless).
-func (s *SAINTNode) Clone() Algorithm { return s }
+// Clone returns an independent sampler sharing configuration but not
+// scratch state.
+func (sn *SAINTNode) Clone() Algorithm {
+	c := *sn
+	c.sc = nil
+	return &c
+}
+
+// scratchArena implements scratchOwner, creating the arena on first use.
+func (sn *SAINTNode) scratchArena() *scratch {
+	if sn.sc == nil {
+		sn.sc = &scratch{}
+	}
+	return sn.sc
+}
 
 // Name implements Algorithm.
-func (s *SAINTNode) Name() string { return fmt.Sprintf("saint-node(%d)", s.Budget) }
+func (sn *SAINTNode) Name() string { return fmt.Sprintf("saint-node(%d)", sn.Budget) }
 
 // NumHops implements Algorithm.
-func (s *SAINTNode) NumHops() int { return 1 }
+func (sn *SAINTNode) NumHops() int { return 1 }
 
 // Sample implements Algorithm.
-func (s *SAINTNode) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
+func (sn *SAINTNode) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
 	n := g.NumVertices()
-	seen := make(map[int32]bool, s.Budget+len(seeds))
-	members := append([]int32(nil), seeds...)
+	sc := sn.scratchArena()
+	sc.stats.Grows += sc.seen.reset(n)
+	members := sc.members[:0]
+	members = append(members, seeds...)
 	for _, v := range seeds {
-		seen[v] = true
+		sc.seen.add(v)
 	}
-	for len(members) < s.Budget+len(seeds) && len(members) < n {
+	for len(members) < sn.Budget+len(seeds) && len(members) < n {
 		v := int32(r.Intn(n))
-		if !seen[v] {
-			seen[v] = true
+		if sc.seen.add(v) {
 			members = append(members, v)
 		}
 	}
-	return inducedSample(g, seeds, members)
+	sc.members = members
+	return inducedSample(g, seeds, members, sc)
 }
 
 // SAINTEdge is GraphSAINT's edge sampler: the member set is the endpoints
 // of uniformly sampled edges plus the seeds.
 type SAINTEdge struct {
 	EdgeBudget int
+
+	// sc is the reusable arena behind Sample; clone per executor.
+	sc *scratch
 }
 
 // NewSAINTEdge returns an edge-budget subgraph sampler.
@@ -189,37 +241,51 @@ func NewSAINTEdge(budget int) *SAINTEdge {
 	return &SAINTEdge{EdgeBudget: budget}
 }
 
-// Clone implements Cloner (stateless).
-func (s *SAINTEdge) Clone() Algorithm { return s }
+// Clone returns an independent sampler sharing configuration but not
+// scratch state.
+func (se *SAINTEdge) Clone() Algorithm {
+	c := *se
+	c.sc = nil
+	return &c
+}
+
+// scratchArena implements scratchOwner, creating the arena on first use.
+func (se *SAINTEdge) scratchArena() *scratch {
+	if se.sc == nil {
+		se.sc = &scratch{}
+	}
+	return se.sc
+}
 
 // Name implements Algorithm.
-func (s *SAINTEdge) Name() string { return fmt.Sprintf("saint-edge(%d)", s.EdgeBudget) }
+func (se *SAINTEdge) Name() string { return fmt.Sprintf("saint-edge(%d)", se.EdgeBudget) }
 
 // NumHops implements Algorithm.
-func (s *SAINTEdge) NumHops() int { return 1 }
+func (se *SAINTEdge) NumHops() int { return 1 }
 
 // Sample implements Algorithm.
-func (s *SAINTEdge) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
+func (se *SAINTEdge) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
 	e := g.NumEdges()
-	seen := make(map[int32]bool, 2*s.EdgeBudget+len(seeds))
-	members := append([]int32(nil), seeds...)
+	sc := se.scratchArena()
+	sc.stats.Grows += sc.seen.reset(g.NumVertices())
+	members := sc.members[:0]
+	members = append(members, seeds...)
 	for _, v := range seeds {
-		seen[v] = true
+		sc.seen.add(v)
 	}
-	add := func(v int32) {
-		if !seen[v] {
-			seen[v] = true
-			members = append(members, v)
-		}
-	}
-	for i := 0; i < s.EdgeBudget; i++ {
+	for i := 0; i < se.EdgeBudget; i++ {
 		idx := int64(r.Uint64n(uint64(e)))
 		dst := g.ColIdx[idx]
 		src := edgeSource(g, idx)
-		add(src)
-		add(dst)
+		if sc.seen.add(src) {
+			members = append(members, src)
+		}
+		if sc.seen.add(dst) {
+			members = append(members, dst)
+		}
 	}
-	return inducedSample(g, seeds, members)
+	sc.members = members
+	return inducedSample(g, seeds, members, sc)
 }
 
 // edgeSource finds the source vertex of the edge at CSR offset idx by

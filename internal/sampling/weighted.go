@@ -2,7 +2,6 @@ package sampling
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -32,6 +31,9 @@ type WeightedKHop struct {
 	Fanouts []int
 	Method  WeightedDrawMethod
 	tables  *weightTables
+
+	// sc is the reusable arena behind Sample; clone per executor.
+	sc *scratch
 }
 
 // weightTables caches the per-graph draw structures so every executor
@@ -48,15 +50,21 @@ type weightTables struct {
 	builds atomic.Int64
 }
 
-// cdfTable is one graph's cumulative-weight array, built once.
+// cdfTable is one graph's cumulative-weight array, built once. done is
+// the publication flag: set (with release semantics) only after cum is
+// fully built, so the hot path can skip the sync.Once closure — which
+// would otherwise allocate on every Sample call.
 type cdfTable struct {
 	once sync.Once
+	done atomic.Bool
 	cum  []float32 // parallel to g.Weights, cumulative per row
 }
 
-// aliasTable is one graph's per-row alias tables, built once.
+// aliasTable is one graph's per-row alias tables, built once (same
+// done-flag publication scheme as cdfTable).
 type aliasTable struct {
 	once sync.Once
+	done atomic.Bool
 	fa   *flatAlias
 }
 
@@ -96,6 +104,14 @@ func (w *WeightedKHop) Clone() Algorithm {
 	return &WeightedKHop{Fanouts: w.Fanouts, Method: w.Method, tables: w.tables}
 }
 
+// scratchArena implements scratchOwner, creating the arena on first use.
+func (w *WeightedKHop) scratchArena() *scratch {
+	if w.sc == nil {
+		w.sc = &scratch{}
+	}
+	return w.sc
+}
+
 // Name implements Algorithm.
 func (w *WeightedKHop) Name() string {
 	return fmt.Sprintf("%d-hop-weighted", len(w.Fanouts))
@@ -119,8 +135,16 @@ func (w *WeightedKHop) Prepare(g *graph.CSR) {
 }
 
 // cumulative returns (building exactly once if needed) the cumulative
-// weight array for g.
+// weight array for g. The done-flag fast path keeps the steady state
+// allocation-free: LoadOrStore with a fresh value and the once.Do
+// closure both allocate, so they run only until the build is published.
 func (t *weightTables) cumulative(g *graph.CSR) []float32 {
+	if e, ok := t.cdf.Load(g); ok {
+		ct := e.(*cdfTable)
+		if ct.done.Load() {
+			return ct.cum
+		}
+	}
 	e, _ := t.cdf.LoadOrStore(g, &cdfTable{})
 	ct := e.(*cdfTable)
 	ct.once.Do(func() {
@@ -136,13 +160,20 @@ func (t *weightTables) cumulative(g *graph.CSR) []float32 {
 			}
 		}
 		ct.cum = cum
+		ct.done.Store(true)
 	})
 	return ct.cum
 }
 
 // aliases returns (building exactly once if needed) per-row alias tables
-// for g.
+// for g (same allocation-free fast path as cumulative).
 func (t *weightTables) aliases(g *graph.CSR) *flatAlias {
+	if e, ok := t.alias.Load(g); ok {
+		at := e.(*aliasTable)
+		if at.done.Load() {
+			return at.fa
+		}
+	}
 	e, _ := t.alias.LoadOrStore(g, &aliasTable{})
 	at := e.(*aliasTable)
 	at.once.Do(func() {
@@ -162,6 +193,7 @@ func (t *weightTables) aliases(g *graph.CSR) *flatAlias {
 			copy(fa.alias[lo:hi], row.alias)
 		}
 		at.fa = fa
+		at.done.Store(true)
 	})
 	return at.fa
 }
@@ -178,19 +210,17 @@ func (w *WeightedKHop) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample 
 	} else {
 		cum = w.tables.cumulative(g)
 	}
+	sc := w.scratchArena()
 	expect := expectedVertices(len(seeds), w.Fanouts)
-	loc := newLocalizer(expect)
-	s := &Sample{Seeds: seeds, Layers: make([]Layer, 0, len(w.Fanouts))}
+	loc, s := sc.begin(seeds, expect, len(w.Fanouts))
 	for _, seed := range seeds {
 		loc.add(seed)
 	}
 	frontierStart := 0
-	for _, fanout := range w.Fanouts {
+	for li, fanout := range w.Fanouts {
 		frontierEnd := loc.numVertices()
 		layer := Layer{NumDst: frontierEnd - frontierStart}
-		capHint := layer.NumDst * fanout
-		layer.Src = make([]int32, 0, capHint)
-		layer.Dst = make([]int32, 0, capHint)
+		src, dst := sc.layerStart(li, layer.NumDst*fanout)
 		for dstLocal := frontierStart; dstLocal < frontierEnd; dstLocal++ {
 			v := loc.input[dstLocal]
 			lo, hi := g.RowPtr[v], g.RowPtr[v+1]
@@ -203,8 +233,8 @@ func (w *WeightedKHop) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample 
 				// Degenerate case: take everyone once, like the
 				// uniform sampler does.
 				for _, nbr := range adj {
-					layer.Src = append(layer.Src, loc.add(nbr))
-					layer.Dst = append(layer.Dst, int32(dstLocal))
+					src = append(src, loc.add(nbr))
+					dst = append(dst, int32(dstLocal))
 				}
 				s.SampledEdges += int64(d)
 				s.ScannedEdges += int64(d)
@@ -216,24 +246,43 @@ func (w *WeightedKHop) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample 
 					// Alias method: O(1) per draw.
 					idx = drawFlat(fa.prob[lo:hi], fa.alias[lo:hi], r)
 				} else {
-					// CDF binary search: O(log d) per draw.
+					// CDF binary search: O(log d) per draw. Inlined
+					// (vs sort.Search) to keep the closure out of the
+					// per-draw hot path.
 					row := cum[lo:hi]
 					u := float32(r.Float64()) * row[d-1]
-					idx = sort.Search(d, func(j int) bool { return row[j] > u })
-					if idx >= d {
-						idx = d - 1
-					}
+					idx = searchCDF(row, u)
 				}
-				layer.Src = append(layer.Src, loc.add(adj[idx]))
-				layer.Dst = append(layer.Dst, int32(dstLocal))
+				src = append(src, loc.add(adj[idx]))
+				dst = append(dst, int32(dstLocal))
 			}
 			s.SampledEdges += int64(fanout)
 			s.ScannedEdges += int64(fanout) // per-draw cost folded into the rate
 		}
+		sc.layerEnd(li, src, dst)
+		layer.Src, layer.Dst = src, dst
 		layer.NumVertices = loc.numVertices()
 		s.Layers = append(s.Layers, layer)
 		frontierStart = frontierEnd
 	}
-	s.Input = loc.input
-	return s
+	return sc.finish(s)
+}
+
+// searchCDF returns the first index whose cumulative weight exceeds u —
+// sort.Search's loop without the closure — clamped to the last entry so
+// float round-off at the top of the range cannot run off the row.
+func searchCDF(row []float32, u float32) int {
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid] > u {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo >= len(row) {
+		lo = len(row) - 1
+	}
+	return lo
 }

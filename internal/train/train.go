@@ -288,17 +288,19 @@ func buildStore(d *gen.Dataset, alg sampling.Algorithm, opts Options) (*feature.
 	if opts.CacheRatio <= 0 {
 		return store, nil
 	}
+	// Only the first `slots` ranking entries reach the cache table, so
+	// select the prefix (O(|V|) expected) instead of sorting all vertices.
+	slots := int(opts.CacheRatio * float64(d.NumVertices()))
 	var ranking []int32
 	switch opts.CachePolicy {
 	case cache.PolicyDegree:
-		ranking = cache.DegreeHotness(d.Graph).Rank()
+		ranking = cache.DegreeHotness(d.Graph).RankTop(slots)
 	case cache.PolicyRandom:
-		ranking = cache.RandomHotness(d.NumVertices(), rng.New(opts.Seed^0x5EED)).Rank()
+		ranking = cache.RandomHotness(d.NumVertices(), rng.New(opts.Seed^0x5EED)).RankTop(slots)
 	default: // PreSC#1 (also PolicyPreSC explicitly)
 		res := cache.PreSC(d.Graph, alg, d.TrainSet, opts.BatchSize, 1, opts.Seed^0x12345)
-		ranking = res.Hotness.Rank()
+		ranking = res.Hotness.RankTop(slots)
 	}
-	slots := int(opts.CacheRatio * float64(d.NumVertices()))
 	table, err := cache.Load(ranking, slots, d.NumVertices(), int64(d.FeatureDim)*4)
 	if err != nil {
 		return nil, err

@@ -12,3 +12,8 @@ go vet ./...
 go build ./...
 go test -race -timeout 3600s ./...
 go test -short -race -timeout 3600s -run xxx -bench=BenchmarkTable1Breakdown -benchtime=1x .
+# Sampling-arena and cache-ranking smoke: one iteration each keeps the
+# allocation-sensitive paths (pooled scratch, top-k selection) compiling
+# and running without paying full benchmark time.
+go test -timeout 3600s -run xxx -bench='BenchmarkSample$' -benchtime=1x ./internal/sampling
+go test -timeout 3600s -run xxx -bench=BenchmarkCacheRank -benchtime=1x ./internal/cache
