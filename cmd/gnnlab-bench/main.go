@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	gnnlab-bench [-scale N] [-gpus N] [-epochs N] [-workers N]
+//	gnnlab-bench [-scale N] [-gpus N] [-epochs N] [-workers N] [-faults N]
 //	             [-format table|csv] [-list]
 //	             [-trace out.json] [-metrics] [-pprof addr] [experiment ...]
 //
@@ -31,6 +31,7 @@ func main() {
 	epochs := flag.Int("epochs", 3, "measured epochs per configuration")
 	seed := flag.Uint64("seed", 0, "experiment seed (0 = default)")
 	workers := flag.Int("workers", 0, "measurement worker pool size (0 = NumCPU, 1 = serial; results are identical at any setting)")
+	faults := flag.Int("faults", 0, "cap for the resilience experiment's injected-fault sweep (0 = default sweep)")
 	noStore := flag.Bool("nostore", false, "disable the shared measurement store (every cell re-measures; results are identical either way)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	format := flag.String("format", "table", "output format: table or csv")
@@ -50,7 +51,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Scale: *scale, NumGPUs: *gpus, Epochs: *epochs, Seed: *seed, Workers: *workers}
+	opts := experiments.Options{Scale: *scale, NumGPUs: *gpus, Epochs: *epochs, Seed: *seed, Workers: *workers, Faults: *faults}
 	if *tracePath != "" || *metrics || *pprofAddr != "" {
 		opts.Obs = obs.NewRecorder()
 	}

@@ -34,6 +34,7 @@ func main() {
 	csv := flag.Bool("csv", false, "dump the raw timeline as CSV")
 	gantt := flag.Bool("gantt", true, "print an ASCII per-trainer Gantt chart")
 	switching := flag.Bool("switching", false, "enable dynamic executor switching")
+	faults := flag.Int("faults", 0, "inject this many seed-keyed generated faults into the traced epoch")
 	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file to this path")
 	metrics := flag.Bool("metrics", false, "print the observability counters to stderr")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
@@ -91,6 +92,25 @@ func main() {
 	cfg.Trace = true
 	cfg.DynamicSwitching = *switching
 
+	if *faults > 0 {
+		// A fault-free probe fixes the epoch-time horizon the generated
+		// plan places its events within.
+		probe := cfg
+		probe.Trace = false
+		prep, err := gnnlab.Simulate(d, probe)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if prep.OOM {
+			log.Fatalf("OOM: %s", prep.OOMReason)
+		}
+		cfg.Faults = gnnlab.GenerateFaults(0xFA17, *faults, gnnlab.FaultGenOptions{
+			Epochs:    1,
+			EpochTime: prep.EpochTime,
+			Trainers:  prep.Alloc.Trainers,
+		})
+	}
+
 	rep, err := gnnlab.RunObserved(d, cfg, rec)
 	if err != nil {
 		log.Fatal(err)
@@ -99,6 +119,10 @@ func main() {
 		log.Fatalf("OOM: %s", rep.OOMReason)
 	}
 	fmt.Printf("%s\n%d tasks traced, makespan %.3fs\n\n", rep, len(rep.Timeline), rep.EpochTime)
+	if *faults > 0 {
+		fmt.Printf("faults: %d injected, %d tasks requeued, %d reallocations\n\n",
+			*faults, rep.RequeuedTasks, rep.Reallocations)
+	}
 
 	if *csv {
 		fmt.Println(renderCSV(rep))

@@ -31,6 +31,7 @@ package gnnlab
 import (
 	"gnnlab/internal/core"
 	"gnnlab/internal/device"
+	"gnnlab/internal/fault"
 	"gnnlab/internal/gen"
 	"gnnlab/internal/measure"
 	"gnnlab/internal/nn"
@@ -175,6 +176,38 @@ func Measure(d *Dataset, cfg SystemConfig) (*Measurement, error) { return core.M
 // content matches the measurement — cache policy, cache ratio, feature
 // dimension, GPU count and design may all vary freely.
 func Replay(m *Measurement, cfg SystemConfig) (*Report, error) { return core.Replay(m, cfg) }
+
+// FaultPlan is a deterministic, seed-keyed fault plan: trainer crashes
+// (transient or permanent), slowdown windows, PCIe degradation, global
+// queue stalls and allocation failures. Attach one via
+// SystemConfig.Faults to inject it into a simulated run, or via
+// TrainOptions.Faults to crash-and-recover a live training run. A plan
+// is data, not behavior: the same seed and plan reproduce a
+// bit-identical Report, and an empty plan changes nothing.
+type FaultPlan = fault.Plan
+
+// FaultEvent is one planned fault within a FaultPlan.
+type FaultEvent = fault.Event
+
+// FaultKind enumerates the injectable fault classes.
+type FaultKind = fault.Kind
+
+// The injectable fault classes (see internal/fault for field semantics).
+const (
+	FaultTrainerCrash = fault.KindTrainerCrash
+	FaultSlowdown     = fault.KindSlowdown
+	FaultPCIeDegrade  = fault.KindPCIeDegrade
+	FaultQueueStall   = fault.KindQueueStall
+	FaultAllocFail    = fault.KindAllocFail
+)
+
+// FaultGenOptions sizes a generated fault plan.
+type FaultGenOptions = fault.GenOptions
+
+// GenerateFaults builds a deterministic fault plan of n events from seed.
+func GenerateFaults(seed uint64, n int, o FaultGenOptions) *FaultPlan {
+	return fault.Generate(seed, n, o)
+}
 
 // PreprocessCost is the Table 6 preprocessing breakdown.
 type PreprocessCost = core.PreprocessCost

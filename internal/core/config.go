@@ -23,6 +23,7 @@ import (
 
 	"gnnlab/internal/cache"
 	"gnnlab/internal/device"
+	"gnnlab/internal/fault"
 	"gnnlab/internal/measure"
 	"gnnlab/internal/obs"
 	"gnnlab/internal/workload"
@@ -79,10 +80,20 @@ type Config struct {
 	// Trace records the first measured epoch's per-task execution
 	// timeline in Report.Timeline.
 	Trace bool
-	// TrainerSlowdown scales each Trainer GPU's compute (index-aligned,
-	// >= 1): the §5.3 multi-tenant scenario where co-located workloads
-	// slow some GPUs down.
+	// TrainerSlowdown scales each Trainer GPU's compute (index-aligned):
+	// factors > 1 slow a GPU down (the §5.3 multi-tenant scenario where
+	// co-located workloads steal cycles), factors in (0, 1) speed it up,
+	// and 0 or 1 leave it untouched. Negative or NaN factors panic.
 	TrainerSlowdown []float64
+
+	// Faults, when non-nil and non-empty, is the deterministic fault
+	// plan injected into the run: trainer crashes requeue in-flight
+	// tasks (and, for the GNNLab design, trigger reallocation over the
+	// surviving GPUs after a permanent loss), slowdown / PCIe / stall
+	// windows stretch the simulated epoch, and alloc-fail events veto
+	// memory planning. An empty plan leaves the Report bit-identical to
+	// a run without one.
+	Faults *fault.Plan
 
 	// Epochs to measure (averaged). Defaults to 3.
 	Epochs int

@@ -81,8 +81,11 @@ type Design interface {
 	// oomReason aborts the replay with an OOM report.
 	Plan(rn *runner, rep *Report, plan memPlan, epochs [][]batchWork, haveStandby bool) (state any, oomReason string)
 	// CostEpoch prices one epoch's measured work into an epochSpec,
-	// accumulating per-stage totals into tot.
-	CostEpoch(rn *runner, rep *Report, state any, work []batchWork, tot *stageTotals) epochSpec
+	// accumulating per-stage totals into tot. The epoch index selects
+	// the fault plan's slice of injected events and, for designs with a
+	// flexible allocation, lets the scheduler react to permanent losses
+	// from earlier epochs.
+	CostEpoch(rn *runner, rep *Report, state any, epoch int, work []batchWork, tot *stageTotals) epochSpec
 }
 
 // designs is the registry the DesignKind dispatch resolves through.
@@ -109,7 +112,7 @@ func init() {
 }
 
 // simulateEpoch hands one costed epoch to the event engine and returns
-// its makespan, folding trace/standby outcomes into the report.
+// its makespan, folding trace/standby/fault outcomes into the report.
 func (rn runner) simulateEpoch(rep *Report, s epochSpec) float64 {
 	switch {
 	case s.twoPhase:
@@ -125,6 +128,7 @@ func (rn runner) simulateEpoch(rep *Report, s epochSpec) float64 {
 			s.tasks[i].Ready = 0
 		}
 		res := sim.Consume(s.tasks, s.opts)
+		rn.foldFaults(rep, res)
 		return sampleEnd + s.phaseGap + res.Makespan
 	case s.producers > 0:
 		res := sim.RunEpoch(s.tasks, s.producers, s.opts)
@@ -132,14 +136,24 @@ func (rn runner) simulateEpoch(rep *Report, s epochSpec) float64 {
 		if res.Timeline != nil {
 			rep.Timeline = res.Timeline
 		}
+		rn.foldFaults(rep, res)
 		return res.Makespan
 	default:
 		res := sim.Consume(s.tasks, s.opts)
 		if res.Timeline != nil {
 			rep.Timeline = res.Timeline
 		}
+		rn.foldFaults(rep, res)
 		return res.Makespan
 	}
+}
+
+// foldFaults accumulates one epoch's injected-fault outcomes into the
+// report. Fault-free epochs contribute nothing, keeping the Report
+// bit-identical to a run without a fault plan.
+func (rn runner) foldFaults(rep *Report, res sim.Result) {
+	rep.RequeuedTasks += res.Requeued
+	rep.FaultEvents = append(rep.FaultEvents, res.FaultEvents...)
 }
 
 // gnnlabDesign is the factored space-sharing design (§4–5).
@@ -153,6 +167,15 @@ type gnnlabState struct {
 	reloadPerBatch float64
 	alloc          sched.Allocation
 	switching      bool
+	// dead is how many permanently crashed trainers the current alloc
+	// already accounts for (via sched.Reallocate). When the fault plan
+	// reports more permanent losses than this, CostEpoch tries to
+	// reallocate; until it succeeds, lost consumers are carried into the
+	// sim as dead-from-start.
+	dead int
+	// pinned disables reallocation when ForceSamplers overrode the
+	// flexible scheduler: a pinned split stays pinned.
+	pinned bool
 }
 
 func (gnnlabDesign) PlanMemory(pc planContext) memPlan {
@@ -191,7 +214,7 @@ func (gnnlabDesign) Preflight(cfg Config, plan memPlan) string {
 
 func (gnnlabDesign) Plan(rn *runner, rep *Report, plan memPlan, epochs [][]batchWork, haveStandby bool) (any, string) {
 	cfg := rn.cfg
-	var st gnnlabState
+	st := &gnnlabState{}
 	if plan.samplerPartitions > 1 {
 		per := cfg.Cost.PCIeLoadTime(plan.topoBytes / int64(plan.samplerPartitions))
 		reloadPerEpoch := float64(plan.samplerPartitions) * per * float64(cfg.Workload.NumLayers())
@@ -215,6 +238,7 @@ func (gnnlabDesign) Plan(rn *runner, rep *Report, plan memPlan, epochs [][]batch
 			ns = cfg.NumGPUs
 		}
 		st.alloc = sched.Allocation{Samplers: ns, Trainers: cfg.NumGPUs - ns}
+		st.pinned = true
 	}
 	rep.Alloc = st.alloc
 
@@ -228,9 +252,10 @@ func (gnnlabDesign) Plan(rn *runner, rep *Report, plan memPlan, epochs [][]batch
 	return st, ""
 }
 
-func (gnnlabDesign) CostEpoch(rn *runner, rep *Report, state any, work []batchWork, tot *stageTotals) epochSpec {
+func (gnnlabDesign) CostEpoch(rn *runner, rep *Report, state any, epoch int, work []batchWork, tot *stageTotals) epochSpec {
 	cfg := rn.cfg
-	st := state.(gnnlabState)
+	st := state.(*gnnlabState)
+	st.reallocate(rn, rep, epoch)
 	tasks := make([]sim.Task, len(work))
 	var standbyTaskSum float64
 	for i, w := range work {
@@ -261,7 +286,35 @@ func (gnnlabDesign) CostEpoch(rn *runner, rep *Report, state any, work []batchWo
 		opts.StandbyAvailable = []float64{} // filled in by RunEpoch
 		opts.StandbyTaskTime = standbyTaskSum / float64(len(work))
 	}
+	// When the scheduler has absorbed every permanent loss into the
+	// allocation, inject only this epoch's own events; otherwise carry the
+	// lost consumers into the sim as dead-from-start.
+	if st.dead == cfg.Faults.PermanentCrashesBefore(epoch) {
+		opts.Faults = cfg.Faults.SimFaults(epoch)
+	} else {
+		opts.Faults = cfg.Faults.SimFaultsPersistent(epoch)
+	}
 	return epochSpec{tasks: tasks, producers: st.alloc.Samplers, opts: opts}
+}
+
+// reallocate reacts to permanent trainer losses from earlier epochs: it
+// re-runs the §5.3 split over the surviving GPUs (sched.Reallocate) when
+// the result still leaves at least one Sampler and one Trainer — the sim
+// needs a producer, and a trainer-less epoch cannot drain the queue. A
+// pinned (ForceSamplers) split never moves; when reallocation is not
+// possible the dead consumers stay carried into the sim instead.
+func (st *gnnlabState) reallocate(rn *runner, rep *Report, epoch int) {
+	dead := rn.cfg.Faults.PermanentCrashesBefore(epoch)
+	if dead == st.dead || st.pinned {
+		return
+	}
+	alloc, ok := sched.Reallocate(st.alloc, dead-st.dead, rep.TsAvg, rep.TtAvg)
+	if !ok || alloc.Samplers < 1 || alloc.Trainers < 1 {
+		return
+	}
+	st.alloc = alloc
+	st.dead = dead
+	rep.Reallocations++
 }
 
 // timeSharingDesign is the conventional design (DGL, T_SOTA): every GPU
@@ -289,7 +342,7 @@ func (timeSharingDesign) Plan(rn *runner, rep *Report, plan memPlan, epochs [][]
 	return nil, ""
 }
 
-func (timeSharingDesign) CostEpoch(rn *runner, rep *Report, _ any, work []batchWork, tot *stageTotals) epochSpec {
+func (timeSharingDesign) CostEpoch(rn *runner, rep *Report, _ any, epoch int, work []batchWork, tot *stageTotals) epochSpec {
 	cfg := rn.cfg
 	tasks := make([]sim.Task, len(work))
 	for i, w := range work {
@@ -310,6 +363,8 @@ func (timeSharingDesign) CostEpoch(rn *runner, rep *Report, _ any, work []batchW
 		Sync:        cfg.Sync,
 		Pipelined:   cfg.Pipelined,
 		Trace:       cfg.Trace && rep.Timeline == nil,
+		// Fixed pools cannot reallocate: lost GPUs stay lost.
+		Faults: cfg.Faults.SimFaultsPersistent(epoch),
 	}}
 }
 
@@ -336,7 +391,7 @@ func (cpuSamplingDesign) Plan(rn *runner, rep *Report, plan memPlan, epochs [][]
 	return nil, ""
 }
 
-func (cpuSamplingDesign) CostEpoch(rn *runner, rep *Report, _ any, work []batchWork, tot *stageTotals) epochSpec {
+func (cpuSamplingDesign) CostEpoch(rn *runner, rep *Report, _ any, epoch int, work []batchWork, tot *stageTotals) epochSpec {
 	cfg := rn.cfg
 	tasks := make([]sim.Task, len(work))
 	for i, w := range work {
@@ -353,6 +408,7 @@ func (cpuSamplingDesign) CostEpoch(rn *runner, rep *Report, _ any, work []batchW
 		Sync:        cfg.Sync,
 		Pipelined:   cfg.Pipelined,
 		Trace:       cfg.Trace && rep.Timeline == nil,
+		Faults:      cfg.Faults.SimFaultsPersistent(epoch),
 	}}
 }
 
@@ -398,7 +454,7 @@ func (batchModeDesign) Plan(rn *runner, rep *Report, plan memPlan, epochs [][]ba
 	}, ""
 }
 
-func (batchModeDesign) CostEpoch(rn *runner, rep *Report, state any, work []batchWork, tot *stageTotals) epochSpec {
+func (batchModeDesign) CostEpoch(rn *runner, rep *Report, state any, epoch int, work []batchWork, tot *stageTotals) epochSpec {
 	cfg := rn.cfg
 	st := state.(batchModeState)
 	tasks := make([]sim.Task, len(work))
@@ -420,6 +476,7 @@ func (batchModeDesign) CostEpoch(rn *runner, rep *Report, state any, work []batc
 			NumTrainers: cfg.NumGPUs,
 			Sync:        cfg.Sync,
 			Pipelined:   cfg.Pipelined,
+			Faults:      cfg.Faults.SimFaultsPersistent(epoch),
 		},
 		twoPhase: true,
 		startAt:  st.topoLoad,

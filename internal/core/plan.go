@@ -74,9 +74,12 @@ type part struct {
 // fit allocates the labelled parts, in order, on a fresh device ledger
 // and returns the bytes left over, or the OOM error. All accounting goes
 // through the real device ledger, so OOM outcomes come from the same
-// allocation machinery the Figure 3 breakdown uses.
+// allocation machinery the Figure 3 breakdown uses — including any
+// injected allocation faults from the run's fault plan, which surface
+// here as deterministic OOM reports.
 func (pc planContext) fit(role string, parts ...part) (int64, error) {
 	gpu := device.NewGPU(0, pc.capBytes)
+	gpu.InjectAllocFault(pc.cfg.Faults.AllocFault())
 	for _, p := range parts {
 		if err := gpu.Alloc(p.label, p.bytes); err != nil {
 			return 0, fmt.Errorf("system: %s: %s: %w", pc.cfg.Name, role, err)

@@ -252,7 +252,7 @@ func (echoDesign) Plan(rn *runner, rep *Report, plan memPlan, epochs [][]batchWo
 	return nil, ""
 }
 
-func (echoDesign) CostEpoch(rn *runner, rep *Report, _ any, work []batchWork, tot *stageTotals) epochSpec {
+func (echoDesign) CostEpoch(rn *runner, rep *Report, _ any, epoch int, work []batchWork, tot *stageTotals) epochSpec {
 	tasks := make([]sim.Task, len(work))
 	for i, w := range work {
 		g := rn.sampleDuration(w)

@@ -62,6 +62,16 @@ type Report struct {
 	// Timeline is the first measured epoch's per-task execution trace
 	// (only when Config.Trace is set).
 	Timeline []sim.TaskTiming
+
+	// RequeuedTasks counts tasks that re-entered the global queue after
+	// an injected consumer crash, summed over measured epochs.
+	RequeuedTasks int
+	// Reallocations counts the times the flexible scheduler re-ran the
+	// §5.3 split over the surviving GPUs after a permanent crash.
+	Reallocations int
+	// FaultEvents lists every injected crash that aborted an in-flight
+	// task, in occurrence order across epochs; nil when no fault fired.
+	FaultEvents []sim.FaultEvent
 }
 
 // String renders a compact one-line summary.
@@ -339,14 +349,14 @@ func (rn runner) replay(design Design, rep *Report, plan memPlan, m *measure.Mea
 	var makespans float64
 	for e, work := range epochs {
 		esp := simSp.Child("epoch")
-		makespans += rn.simulateEpoch(rep, design.CostEpoch(&rn, rep, state, work, &tot))
+		makespans += rn.simulateEpoch(rep, design.CostEpoch(&rn, rep, state, e, work, &tot))
 		esp.End(obs.Attr{Key: "epoch", Value: e})
 	}
 	rn.finishAverages(rep, makespans, tot)
 	simSp.End(obs.Attr{Key: "design", Value: cfg.Design.String()})
 	rn.observeReport(rep, stats)
 	if cfg.Trace && cfg.Obs != nil && rep.Timeline != nil {
-		sim.EmitTrace(cfg.Obs, cfg.Name, rep.Timeline)
+		sim.EmitTrace(cfg.Obs, cfg.Name, rep.Timeline, rep.FaultEvents)
 	}
 	return rep, nil
 }
@@ -363,6 +373,11 @@ func (rn runner) observeReport(rep *Report, stats cache.Stats) {
 	reg.Counter("core.cache.misses").Add(stats.Misses)
 	reg.Counter("core.pcie.transferred_bytes").Add(rep.TransferredBytes * int64(rep.Epochs))
 	reg.Counter("core.tasks_by_standby").Add(int64(rep.TasksByStandby))
+	if !rn.cfg.Faults.Empty() {
+		reg.Counter("fault.injected").Add(int64(rn.cfg.Faults.InjectedWithin(rn.cfg.Epochs)))
+		reg.Counter("fault.requeued_tasks").Add(int64(rep.RequeuedTasks))
+		reg.Counter("fault.reallocations").Add(int64(rep.Reallocations))
+	}
 	reg.Histogram("core.epoch_time_s").Observe(rep.EpochTime)
 	reg.Histogram("core.hit_rate").Observe(rep.HitRate)
 	reg.Histogram("core.sample_total_s").Observe(rep.SampleTotal)

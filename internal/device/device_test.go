@@ -163,3 +163,39 @@ func TestLoadTimes(t *testing.T) {
 		t.Error("queue copy calibration broken")
 	}
 }
+
+func TestInjectAllocFault(t *testing.T) {
+	g := NewGPU(0, 1000)
+	g.InjectAllocFault(func(label string, bytes int64) bool { return label == "cache" })
+
+	if err := g.Alloc("topology", 100); err != nil {
+		t.Fatalf("unfaulted label failed: %v", err)
+	}
+	err := g.Alloc("cache", 100)
+	if err == nil {
+		t.Fatal("faulted label succeeded")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("want ErrInjected, got %v", err)
+	}
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("injected fault must look like OOM to errors.Is, got %v", err)
+	}
+	if got := g.Used(); got != 100 {
+		t.Errorf("vetoed allocation changed the ledger: used %d, want 100", got)
+	}
+
+	g.InjectAllocFault(nil)
+	if err := g.Alloc("cache", 100); err != nil {
+		t.Fatalf("alloc after removing the fault hook failed: %v", err)
+	}
+}
+
+func TestInjectAllocFaultSurvivesReset(t *testing.T) {
+	g := NewGPU(0, 1000)
+	g.InjectAllocFault(func(string, int64) bool { return true })
+	g.Reset()
+	if err := g.Alloc("x", 1); !errors.Is(err, ErrInjected) {
+		t.Fatalf("fault hook lost on Reset: %v", err)
+	}
+}

@@ -22,6 +22,15 @@ import (
 // on the UK dataset.
 var ErrOutOfMemory = errors.New("device: out of GPU memory")
 
+// ErrInjected marks an allocation failure forced by a fault plan rather
+// than the ledger arithmetic. It wraps ErrOutOfMemory so every OOM check
+// (core.IsOOM, errors.Is) treats injected failures like real exhaustion.
+var ErrInjected = fmt.Errorf("device: injected allocation fault: %w", ErrOutOfMemory)
+
+// AllocFault decides whether an allocation request should fail
+// artificially. It runs under the GPU lock and must be fast and pure.
+type AllocFault func(label string, bytes int64) bool
+
 // GPU is a device with a fixed memory capacity and a labelled allocation
 // ledger. The ledger makes memory pressure inspectable: Figure 3's
 // per-stage memory breakdown is a dump of it.
@@ -32,6 +41,7 @@ type GPU struct {
 	mu     sync.Mutex
 	allocs map[string]int64
 	used   int64
+	fault  AllocFault
 }
 
 // NewGPU returns a GPU with the given ID and capacity in bytes.
@@ -62,15 +72,28 @@ func (g *GPU) Available() int64 {
 	return g.capacity - g.used
 }
 
+// InjectAllocFault installs (or, with nil, removes) an allocation-fault
+// hook: Alloc requests the hook vetoes fail with ErrInjected before the
+// ledger is consulted. Fault plans use this to model flaky device memory.
+func (g *GPU) InjectAllocFault(fn AllocFault) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.fault = fn
+}
+
 // Alloc reserves bytes under label, failing with ErrOutOfMemory (wrapped
-// with the label and sizes) when capacity would be exceeded. Allocating an
-// existing label grows it.
+// with the label and sizes) when capacity would be exceeded, or with
+// ErrInjected when an installed fault hook vetoes the request. Allocating
+// an existing label grows it.
 func (g *GPU) Alloc(label string, bytes int64) error {
 	if bytes < 0 {
 		return fmt.Errorf("device: negative allocation %d for %q", bytes, label)
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if g.fault != nil && g.fault(label, bytes) {
+		return fmt.Errorf("device: gpu%d alloc %q (%d B): %w", g.id, label, bytes, ErrInjected)
+	}
 	if g.used+bytes > g.capacity {
 		return fmt.Errorf("device: gpu%d alloc %q (%d B): used %d of %d: %w",
 			g.id, label, bytes, g.used, g.capacity, ErrOutOfMemory)

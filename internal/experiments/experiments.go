@@ -50,6 +50,10 @@ type Options struct {
 	// Cost spans, pipeline counters) for every cell into one recorder.
 	// Tables are bit-identical with or without it.
 	Obs *obs.Recorder
+	// Faults caps the injected-fault sweep of the resilience experiment:
+	// its rows double from 1 fault up to this count (0 = the default
+	// sweep). Other experiments ignore it.
+	Faults int
 }
 
 func (o Options) withDefaults() Options {
@@ -245,6 +249,7 @@ func Registry() []struct {
 		{"ablation-hostbw", AblationHostBandwidth},
 		{"ablation-batchsize", AblationBatchSize},
 		{"ablation-trainset", AblationTrainSet},
+		{"resilience", Resilience},
 	}
 }
 

@@ -103,6 +103,14 @@ func (s *Store) Stats() (hits, misses int64) {
 	return s.hits.Load(), s.misses.Load()
 }
 
+// SetStats rewinds the gather counters to a snapshot from Stats, so a
+// crashed-and-restored epoch's partial gathers do not pollute the
+// reported hit rate.
+func (s *Store) SetStats(hits, misses int64) {
+	s.hits.Store(hits)
+	s.misses.Store(misses)
+}
+
 // HitRate returns the accumulated cache hit rate.
 func (s *Store) HitRate() float64 {
 	h, m := s.Stats()

@@ -198,6 +198,20 @@ func (l Lane) Complete(name string, startSec, durSec float64, attrs ...Attr) {
 	})
 }
 
+// InstantAt records a zero-duration thread-scoped marker at an explicit
+// simulated time (in seconds) — the marker counterpart of Complete.
+func (l Lane) InstantAt(name string, atSec float64, attrs ...Attr) {
+	if l.r == nil {
+		return
+	}
+	l.r.add(event{
+		Name: name, Ph: "i", S: "t",
+		Ts:  atSec * 1e6,
+		Pid: l.pid, Tid: l.tid,
+		Args: argsMap(attrs),
+	})
+}
+
 // Instant records a zero-duration thread-scoped marker.
 func (l Lane) Instant(name string, attrs ...Attr) {
 	if l.r == nil {

@@ -35,6 +35,16 @@ func splitmix64(x uint64) (uint64, uint64) {
 	return x, z ^ (z >> 31)
 }
 
+// State is an opaque snapshot of a generator's position in its stream,
+// restorable with SetState (checkpoint/restore support).
+type State [4]uint64
+
+// State snapshots the generator.
+func (r *Rand) State() State { return r.s }
+
+// SetState rewinds the generator to a snapshot taken with State.
+func (r *Rand) SetState(s State) { r.s = s }
+
 // Split derives an independent generator from r, keyed by id. Two Splits
 // with distinct ids produce decorrelated streams.
 func (r *Rand) Split(id uint64) *Rand {

@@ -48,6 +48,12 @@ func (a Allocation) String() string {
 // and a Trainer measured on a probe epoch. GNNLab rounds *up* for Samplers
 // because temporarily switching a Sampler into a Trainer is fast, but not
 // vice versa (the Sampler would first have to reload the graph topology).
+//
+// Degenerate probe inputs fall back to the minimum-Sampler split, 1S/(N−1)T:
+// a non-positive or non-finite sampleTime, or a negative, NaN or +Inf
+// trainTime, all mean "the probe told us nothing about K", and the cheapest
+// safe answer is one Sampler (a Sampler→Trainer switch is fast, the reverse
+// is not, so under-allocating Samplers is the recoverable direction).
 func Allocate(numGPUs int, sampleTime, trainTime float64) Allocation {
 	if numGPUs <= 0 {
 		panic("sched: Allocate with no GPUs")
@@ -57,7 +63,8 @@ func Allocate(numGPUs int, sampleTime, trainTime float64) Allocation {
 		// accounted as a Sampler with a standby Trainer.
 		return Allocation{Samplers: 1, Trainers: 0}
 	}
-	if sampleTime <= 0 {
+	if sampleTime <= 0 || math.IsInf(sampleTime, 1) || math.IsNaN(sampleTime) ||
+		trainTime < 0 || math.IsInf(trainTime, 1) || math.IsNaN(trainTime) {
 		return Allocation{Samplers: 1, Trainers: numGPUs - 1}
 	}
 	k := trainTime / sampleTime
@@ -69,6 +76,29 @@ func Allocate(numGPUs int, sampleTime, trainTime float64) Allocation {
 		ns = numGPUs - 1
 	}
 	return Allocation{Samplers: ns, Trainers: numGPUs - ns}
+}
+
+// Reallocate re-runs the §5.3 formula over the GPUs surviving `failed`
+// permanent executor losses, redistributing the roles of the degraded
+// machine. The shrunken N_g shrinks N_s = ⌈N_g/(K+1)⌉ with it, which
+// promotes standby Trainers earlier than on the healthy machine whenever
+// the profit metric (SwitchProfit over the surviving Trainer count) says
+// so. One survivor degenerates to single-GPU standby mode {1S, 0T}; ok is
+// false when no GPU survives (the run cannot continue).
+func Reallocate(prev Allocation, failed int, sampleTime, trainTime float64) (Allocation, bool) {
+	if failed < 0 {
+		failed = 0
+	}
+	surviving := prev.NumGPUs() - failed
+	if surviving <= 0 {
+		return Allocation{}, false
+	}
+	if prev.Phased {
+		// Phase-alternating roles share every GPU; all survivors keep
+		// serving both phases.
+		return Allocation{Samplers: surviving, Trainers: surviving, Phased: true}, true
+	}
+	return Allocate(surviving, sampleTime, trainTime), true
 }
 
 // SwitchProfit computes the dynamic-switching profit metric (§5.3):

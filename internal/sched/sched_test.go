@@ -117,3 +117,62 @@ func TestAllocatePanicsOnNoGPUs(t *testing.T) {
 	}()
 	Allocate(0, 1, 1)
 }
+
+func TestAllocateDegenerateInputs(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []struct{ sample, train float64 }{
+		{nan, 1}, {1, nan}, {nan, nan},
+		{1, -3}, {-1, 1}, {0, 1},
+		{inf, 1}, {1, inf}, {math.Inf(-1), 1},
+	}
+	for _, c := range cases {
+		got := Allocate(8, c.sample, c.train)
+		want := Allocation{Samplers: 1, Trainers: 7}
+		if got != want {
+			t.Errorf("Allocate(8, %v, %v) = %v, want %v", c.sample, c.train, got, want)
+		}
+	}
+}
+
+func TestReallocate(t *testing.T) {
+	prev := Allocate(8, 1, 3) // 2S6T
+	cases := []struct {
+		failed int
+		want   Allocation
+		ok     bool
+	}{
+		{0, Allocation{Samplers: 2, Trainers: 6}, true},
+		{1, Allocation{Samplers: 2, Trainers: 5}, true},
+		{4, Allocation{Samplers: 1, Trainers: 3}, true},
+		{6, Allocation{Samplers: 1, Trainers: 1}, true},
+		{7, Allocation{Samplers: 1, Trainers: 0}, true}, // single-GPU standby mode
+		{8, Allocation{}, false},
+		{9, Allocation{}, false},
+	}
+	for _, c := range cases {
+		got, ok := Reallocate(prev, c.failed, 1, 3)
+		if got != c.want || ok != c.ok {
+			t.Errorf("Reallocate(%v, %d) = %v,%v want %v,%v", prev, c.failed, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestReallocateNegativeFailedIsNoFailure(t *testing.T) {
+	prev := Allocate(4, 1, 1)
+	got, ok := Reallocate(prev, -2, 1, 1)
+	if !ok || got != prev {
+		t.Errorf("Reallocate(%v, -2) = %v,%v want %v,true", prev, got, ok, prev)
+	}
+}
+
+func TestReallocateKeepsPhased(t *testing.T) {
+	prev := Allocation{Samplers: 4, Trainers: 4, Phased: true}
+	got, ok := Reallocate(prev, 1, 1, 1)
+	if !ok || !got.Phased {
+		t.Errorf("Reallocate of phased allocation lost Phased: %v,%v", got, ok)
+	}
+	if got.NumGPUs() != 3 {
+		t.Errorf("phased reallocation occupies %d GPUs, want 3", got.NumGPUs())
+	}
+}

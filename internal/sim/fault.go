@@ -1,0 +1,143 @@
+package sim
+
+import "math"
+
+// Fault injection for the event engine. The types here are the engine's
+// own representation of an epoch's faults — deterministic, pre-planned
+// events the Consume loop honors while scheduling. internal/fault builds
+// them from user-facing seed-keyed plans; sim stays dependency-free.
+//
+// Determinism rule: Consume is a pure function of (tasks, opts), so the
+// same fault set against the same tasks yields a bit-identical Result —
+// including the FaultEvents and Requeued accounting. A nil *Faults takes
+// exactly the pre-fault code path.
+
+// Window is a half-open simulated-time interval [Start, End) with a
+// duration multiplier. A stage whose start time falls inside the window
+// runs Factor times as long (Factor < 1 would shorten it; fault plans use
+// factors > 1).
+type Window struct {
+	Start, End Seconds
+	Factor     float64
+}
+
+// contains reports whether t falls inside the window.
+func (w Window) contains(t Seconds) bool { return t >= w.Start && t < w.End }
+
+// Crash kills one consumer at simulated time At: the task it is running
+// is lost and re-enters the global queue in Ready order at the crash
+// time. RecoverAt > At revives the consumer then; otherwise the crash is
+// permanent for the epoch.
+type Crash struct {
+	Consumer  int
+	At        Seconds
+	RecoverAt Seconds
+}
+
+// permanent reports whether the crash never recovers.
+func (c Crash) permanent() bool { return !(c.RecoverAt > c.At) }
+
+// ConsumerWindow is a slowdown window pinned to one consumer (a transient
+// co-tenant burst on that GPU): both its Extract and Train stages stretch
+// while the window is open.
+type ConsumerWindow struct {
+	Consumer int
+	Window
+}
+
+// Faults is one epoch's injected fault set.
+type Faults struct {
+	// Crashes lists consumer failures; at most the earliest crash per
+	// consumer applies.
+	Crashes []Crash
+	// Slowdowns are per-consumer transient slowdown windows.
+	Slowdowns []ConsumerWindow
+	// ExtractDegrade models PCIe-link degradation: Extract stages (the
+	// host→GPU feature path) starting inside a window stretch by its
+	// factor, on every consumer.
+	ExtractDegrade []Window
+	// QueueStalls are global-queue stalls: no task dequeue may begin
+	// inside a stall window (starts are pushed to the window end).
+	QueueStalls []Window
+}
+
+// empty reports whether the fault set injects nothing.
+func (f *Faults) empty() bool {
+	return f == nil ||
+		len(f.Crashes) == 0 && len(f.Slowdowns) == 0 &&
+			len(f.ExtractDegrade) == 0 && len(f.QueueStalls) == 0
+}
+
+// stallClamp pushes a dequeue start time out of any stall window it falls
+// in. Windows may chain (the end of one inside another), so the scan
+// repeats until the time is clear of all of them.
+func (f *Faults) stallClamp(t Seconds) Seconds {
+	if f == nil || len(f.QueueStalls) == 0 {
+		return t
+	}
+	for moved := true; moved; {
+		moved = false
+		for _, w := range f.QueueStalls {
+			if w.contains(t) && w.End > t {
+				t = w.End
+				moved = true
+			}
+		}
+	}
+	return t
+}
+
+// extractFactor multiplies every degradation window open at start.
+func (f *Faults) extractFactor(start Seconds) float64 {
+	factor := 1.0
+	if f == nil {
+		return factor
+	}
+	for _, w := range f.ExtractDegrade {
+		if w.contains(start) && w.Factor > 0 {
+			factor *= w.Factor
+		}
+	}
+	return factor
+}
+
+// FaultEvent records one observed fault effect: a consumer crash aborting
+// an in-flight task, which then re-entered the queue at time At.
+type FaultEvent struct {
+	Consumer int
+	Standby  bool
+	Task     int     // index into the tasks slice
+	Start    Seconds // when the aborted attempt began extracting
+	At       Seconds // crash time = requeue time
+}
+
+// applyFaults installs an epoch's fault set on the constructed consumers:
+// the earliest crash per consumer and its slowdown windows. Events naming
+// consumer indices outside the configuration are ignored (a reallocated
+// machine may have fewer executor slots than the plan anticipated).
+func applyFaults(consumers []*consumer, f *Faults) {
+	if f == nil {
+		return
+	}
+	for _, cr := range f.Crashes {
+		if cr.Consumer < 0 || cr.Consumer >= len(consumers) {
+			continue
+		}
+		c := consumers[cr.Consumer]
+		if cr.At >= c.crashAt {
+			continue // keep the earliest crash
+		}
+		c.crashAt = cr.At
+		if cr.permanent() {
+			c.recoverAt = math.Inf(1)
+		} else {
+			c.recoverAt = cr.RecoverAt
+		}
+	}
+	for _, w := range f.Slowdowns {
+		if w.Consumer < 0 || w.Consumer >= len(consumers) || w.Factor <= 0 {
+			continue
+		}
+		consumers[w.Consumer].windows = append(consumers[w.Consumer].windows, w.Window)
+	}
+}

@@ -1,0 +1,318 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// randomTasks builds a reproducible random task set.
+func randomTasks(r *rand.Rand, n int) []Task {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{
+			Sample:  0.5 + r.Float64(),
+			Extract: 0.2 + 0.6*r.Float64(),
+			Train:   0.3 + 0.9*r.Float64(),
+		}
+		if r.Intn(3) == 0 {
+			tasks[i].StandbyExtract = tasks[i].Extract * (1 + r.Float64())
+		}
+	}
+	return tasks
+}
+
+// randomFaults builds a reproducible fault set sized to a horizon.
+func randomFaults(r *rand.Rand, consumers int, horizon Seconds) *Faults {
+	f := &Faults{}
+	// Consumer 0 never crashes permanently so at least one survivor can
+	// drain the queue (an all-dead machine panics by design).
+	for ci := 0; ci < consumers; ci++ {
+		switch r.Intn(4) {
+		case 0: // permanent crash
+			if ci == 0 {
+				continue
+			}
+			f.Crashes = append(f.Crashes, Crash{Consumer: ci, At: horizon * r.Float64()})
+		case 1: // transient crash
+			at := horizon * r.Float64()
+			f.Crashes = append(f.Crashes, Crash{Consumer: ci, At: at, RecoverAt: at + horizon/4*r.Float64()})
+		case 2: // slowdown window
+			start := horizon * r.Float64()
+			f.Slowdowns = append(f.Slowdowns, ConsumerWindow{
+				Consumer: ci,
+				Window:   Window{Start: start, End: start + horizon/3, Factor: 1.5 + 2*r.Float64()},
+			})
+		}
+	}
+	start := horizon / 4
+	f.ExtractDegrade = append(f.ExtractDegrade, Window{Start: start, End: start + horizon/5, Factor: 2})
+	f.QueueStalls = append(f.QueueStalls, Window{Start: horizon / 2, End: horizon/2 + horizon/10})
+	return f
+}
+
+// faultScenario runs one seeded random epoch under faults and returns the
+// tasks (post-run, with rewritten Ready times) and the result.
+func faultScenario(seed int64, numTrainers int, sync, pipelined bool) ([]Task, Result) {
+	r := rand.New(rand.NewSource(seed))
+	tasks := randomTasks(r, 40)
+	opts := ConsumeOptions{
+		NumTrainers:      numTrainers,
+		Sync:             sync,
+		Pipelined:        pipelined,
+		TrainerSlowdown:  []float64{2, 0.5},
+		StandbyAvailable: nil,
+		TrainerTaskTime:  1,
+		StandbyTaskTime:  1.5,
+		Trace:            true,
+	}
+	// A rough horizon for placing faults: serial work / trainers.
+	var total Seconds
+	for _, t := range tasks {
+		total += t.Extract + t.Train
+	}
+	opts.Faults = randomFaults(r, numTrainers, total/Seconds(numTrainers))
+	res := RunEpoch(tasks, 2, opts)
+	return tasks, res
+}
+
+func TestUtilizationInvariantUnderFaults(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		for _, sync := range []bool{false, true} {
+			_, res := faultScenario(seed, 3, sync, false)
+			for i, busy := range res.TrainerBusy {
+				if busy < 0 {
+					t.Fatalf("seed %d sync %v: trainer %d negative busy %v", seed, sync, i, busy)
+				}
+				if u := busy / res.Makespan; u > 1+1e-9 {
+					t.Fatalf("seed %d sync %v: trainer %d utilization %v > 1 (busy %v, makespan %v)",
+						seed, sync, i, u, busy, res.Makespan)
+				}
+			}
+		}
+	}
+}
+
+func TestTimelinePerConsumerNonOverlapping(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		for _, pipelined := range []bool{false, true} {
+			_, res := faultScenario(seed, 3, false, pipelined)
+			byConsumer := map[int][]TaskTiming{}
+			for _, tt := range res.Timeline {
+				byConsumer[tt.Consumer] = append(byConsumer[tt.Consumer], tt)
+			}
+			for ci, tl := range byConsumer {
+				sort.Slice(tl, func(a, b int) bool { return tl[a].ExtractStart < tl[b].ExtractStart })
+				for i := range tl {
+					if tl[i].ExtractEnd > tl[i].TrainStart+1e-9 {
+						t.Fatalf("seed %d consumer %d: extract end %v after train start %v",
+							seed, ci, tl[i].ExtractEnd, tl[i].TrainStart)
+					}
+					if i == 0 {
+						continue
+					}
+					if tl[i].ExtractStart < tl[i-1].ExtractEnd-1e-9 {
+						t.Fatalf("seed %d consumer %d: extract intervals overlap: [%v,%v) then [%v,%v)",
+							seed, ci, tl[i-1].ExtractStart, tl[i-1].ExtractEnd, tl[i].ExtractStart, tl[i].ExtractEnd)
+					}
+					if tl[i].TrainStart < tl[i-1].TrainEnd-1e-9 {
+						t.Fatalf("seed %d consumer %d: train intervals overlap: [%v,%v) then [%v,%v)",
+							seed, ci, tl[i-1].TrainStart, tl[i-1].TrainEnd, tl[i].TrainStart, tl[i].TrainEnd)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRequeuedTasksAppearExactlyOnceInTrace(t *testing.T) {
+	sawCrash := false
+	for seed := int64(0); seed < 20; seed++ {
+		tasks, res := faultScenario(seed, 3, false, false)
+		if res.Requeued != len(res.FaultEvents) {
+			t.Fatalf("seed %d: Requeued %d != len(FaultEvents) %d", seed, res.Requeued, len(res.FaultEvents))
+		}
+		if res.Requeued > 0 {
+			sawCrash = true
+		}
+		count := make([]int, len(tasks))
+		for _, tt := range res.Timeline {
+			count[tt.Task]++
+		}
+		for i, c := range count {
+			if c != 1 {
+				t.Fatalf("seed %d: task %d appears %d times in timeline", seed, i, c)
+			}
+		}
+		// An aborted attempt ends at the crash, and the task's completing
+		// execution starts no earlier than that crash.
+		for _, fe := range res.FaultEvents {
+			if fe.At < fe.Start {
+				t.Fatalf("seed %d: fault event ends before it starts: %+v", seed, fe)
+			}
+			for _, tt := range res.Timeline {
+				if tt.Task == fe.Task && tt.ExtractStart < fe.At-1e-9 {
+					t.Fatalf("seed %d: requeued task %d re-ran at %v before its crash at %v",
+						seed, fe.Task, tt.ExtractStart, fe.At)
+				}
+			}
+		}
+	}
+	if !sawCrash {
+		t.Fatal("no seed produced a crash-aborted task; scenario generator is too tame")
+	}
+}
+
+func TestConsumeDeterministicUnderFaults(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		_, a := faultScenario(seed, 3, true, true)
+		_, b := faultScenario(seed, 3, true, true)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: identical inputs produced different results", seed)
+		}
+	}
+}
+
+func TestNilFaultsMatchesEmptyFaults(t *testing.T) {
+	build := func(f *Faults) Result {
+		tasks := uniformTasks(12, 1, 0.5, 1)
+		return RunEpoch(tasks, 2, ConsumeOptions{
+			NumTrainers: 2, Sync: true, Pipelined: true,
+			TrainerSlowdown: []float64{3}, Trace: true, Faults: f,
+		})
+	}
+	base := build(nil)
+	for _, f := range []*Faults{{}, {Crashes: []Crash{}, QueueStalls: []Window{}}} {
+		if got := build(f); !reflect.DeepEqual(got, base) {
+			t.Fatalf("empty fault set %+v diverged from nil faults:\n got %+v\nwant %+v", f, got, base)
+		}
+	}
+}
+
+func TestSlowdownSpeedupHonored(t *testing.T) {
+	run := func(factor float64) Result {
+		tasks := uniformTasks(4, 0, 1, 2)
+		return Consume(tasks, ConsumeOptions{NumTrainers: 1, TrainerSlowdown: []float64{factor}})
+	}
+	full := run(1)
+	half := run(0.5)
+	if got, want := half.Makespan, full.Makespan/2; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("speedup factor 0.5: makespan %v, want %v", got, want)
+	}
+	if got, want := half.TrainerBusy[0], full.TrainerBusy[0]/2; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("speedup factor 0.5: busy %v, want %v", got, want)
+	}
+}
+
+func TestInvalidSlowdownPanics(t *testing.T) {
+	for _, bad := range []float64{-1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("TrainerSlowdown %v did not panic", bad)
+				}
+			}()
+			Consume(uniformTasks(1, 0, 1, 1), ConsumeOptions{NumTrainers: 1, TrainerSlowdown: []float64{bad}})
+		}()
+	}
+}
+
+func TestBusyUsesScaledDurations(t *testing.T) {
+	tasks := uniformTasks(3, 0, 1, 2)
+	res := Consume(tasks, ConsumeOptions{NumTrainers: 1, TrainerSlowdown: []float64{2}})
+	// Each task runs 2*(1+2) = 6s on the slowed Trainer; busy must use the
+	// actual (scaled) durations so utilization is busy/makespan = 1.
+	if want := Seconds(18); math.Abs(res.Makespan-want) > 1e-9 {
+		t.Fatalf("makespan %v, want %v", res.Makespan, want)
+	}
+	if want := Seconds(18); math.Abs(res.TrainerBusy[0]-want) > 1e-9 {
+		t.Fatalf("TrainerBusy %v, want %v (scaled durations)", res.TrainerBusy[0], want)
+	}
+}
+
+func TestCrashRequeuesToSurvivor(t *testing.T) {
+	tasks := uniformTasks(6, 0, 1, 1)
+	opts := ConsumeOptions{NumTrainers: 2, Trace: true}
+	base := Consume(append([]Task(nil), tasks...), opts)
+
+	opts.Faults = &Faults{Crashes: []Crash{{Consumer: 0, At: 2.5}}} // permanent
+	res := Consume(append([]Task(nil), tasks...), opts)
+	if len(res.FaultEvents) != 1 || res.Requeued != 1 {
+		t.Fatalf("want exactly one abort, got %+v", res.FaultEvents)
+	}
+	fe := res.FaultEvents[0]
+	if fe.Consumer != 0 || fe.At != 2.5 {
+		t.Fatalf("unexpected fault event %+v", fe)
+	}
+	if res.Makespan <= base.Makespan {
+		t.Fatalf("losing a Trainer should inflate the makespan: %v <= %v", res.Makespan, base.Makespan)
+	}
+	for _, tt := range res.Timeline {
+		if tt.Consumer == 0 && tt.ExtractStart >= 2.5 {
+			t.Fatalf("permanently crashed consumer ran a task at %v: %+v", tt.ExtractStart, tt)
+		}
+	}
+}
+
+func TestTransientCrashRecovers(t *testing.T) {
+	tasks := uniformTasks(8, 0, 1, 1)
+	opts := ConsumeOptions{NumTrainers: 2, Trace: true}
+	opts.Faults = &Faults{Crashes: []Crash{{Consumer: 0, At: 2.5, RecoverAt: 4}}}
+	res := Consume(tasks, opts)
+	ranAfter := false
+	for _, tt := range res.Timeline {
+		if tt.Consumer == 0 {
+			if tt.ExtractStart >= 2.5 && tt.ExtractStart < 4 {
+				t.Fatalf("consumer 0 ran inside its dead window: %+v", tt)
+			}
+			if tt.ExtractStart >= 4 {
+				ranAfter = true
+			}
+		}
+	}
+	if !ranAfter {
+		t.Fatal("recovered consumer never ran again after its dead window")
+	}
+}
+
+func TestQueueStallDelaysDequeues(t *testing.T) {
+	tasks := uniformTasks(2, 0, 1, 1)
+	opts := ConsumeOptions{NumTrainers: 2, Trace: true}
+	opts.Faults = &Faults{QueueStalls: []Window{{Start: 0, End: 3}}}
+	res := Consume(tasks, opts)
+	for _, tt := range res.Timeline {
+		if tt.ExtractStart < 3 {
+			t.Fatalf("dequeue started at %v inside the stall window [0,3)", tt.ExtractStart)
+		}
+	}
+	if want := Seconds(5); math.Abs(res.Makespan-want) > 1e-9 {
+		t.Fatalf("makespan %v, want %v", res.Makespan, want)
+	}
+}
+
+func TestExtractDegradeStretchesExtractOnly(t *testing.T) {
+	tasks := uniformTasks(1, 0, 1, 1)
+	opts := ConsumeOptions{NumTrainers: 1}
+	opts.Faults = &Faults{ExtractDegrade: []Window{{Start: 0, End: 0.5, Factor: 3}}}
+	res := Consume(tasks, opts)
+	// Extract starting at 0 stretches to 3s; Train (starting at 3, outside
+	// the window) keeps its 1s duration.
+	if want := Seconds(4); math.Abs(res.Makespan-want) > 1e-9 {
+		t.Fatalf("makespan %v, want %v", res.Makespan, want)
+	}
+}
+
+func TestAllConsumersFailedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when every consumer permanently fails")
+		}
+	}()
+	tasks := uniformTasks(4, 0, 1, 1)
+	Consume(tasks, ConsumeOptions{
+		NumTrainers: 1,
+		Faults:      &Faults{Crashes: []Crash{{Consumer: 0, At: 0.5}}},
+	})
+}

@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
@@ -91,10 +92,16 @@ type ConsumeOptions struct {
 	// Trace records a per-task Timeline in the Result.
 	Trace bool
 	// TrainerSlowdown optionally scales the Extract and Train durations
-	// of each normal Trainer (index-aligned; 1 or 0 = full speed). It
-	// models the multi-tenant contention of §5.3, where other workloads
-	// temporarily slow some GPUs.
+	// of each normal Trainer (index-aligned). Factors > 1 slow a Trainer
+	// down (the multi-tenant contention of §5.3); factors in (0, 1) are
+	// honored as speedups; 0 or 1 = full speed (unset). Negative or NaN
+	// factors are invalid and panic.
 	TrainerSlowdown []float64
+	// Faults injects this epoch's deterministic fault set (consumer
+	// crashes with requeue, transient slowdown windows, PCIe-degradation
+	// windows, global-queue stalls). Nil injects nothing and takes the
+	// exact fault-free code path.
+	Faults *Faults
 }
 
 // Result summarizes a consumed epoch.
@@ -103,12 +110,22 @@ type Result struct {
 	Makespan Seconds
 	// TasksByStandby counts tasks taken by standby Trainers.
 	TasksByStandby int
-	// TrainerBusy is accumulated Extract+Train busy time per normal
-	// Trainer (utilization = busy / makespan).
+	// TrainerBusy is accumulated busy time per normal Trainer
+	// (utilization = busy / makespan): the *actual* Extract+Train
+	// durations including slowdowns, plus occupancy lost to aborted
+	// attempts when a crash killed an in-flight task.
 	TrainerBusy []Seconds
 	// Timeline holds one record per task in dequeue order when
-	// ConsumeOptions.Trace is set; nil otherwise.
+	// ConsumeOptions.Trace is set; nil otherwise. A task aborted by a
+	// crash appears once, for its completing execution; its aborted
+	// attempts are in FaultEvents.
 	Timeline []TaskTiming
+	// FaultEvents records every injected crash that aborted an in-flight
+	// task, in occurrence order; nil when no fault fired.
+	FaultEvents []FaultEvent
+	// Requeued counts tasks that re-entered the global queue after a
+	// consumer crash (== len(FaultEvents)).
+	Requeued int
 }
 
 // TaskTiming records where and when one task executed — the material for
@@ -134,21 +151,77 @@ type consumer struct {
 	extractFree Seconds
 	trainFree   Seconds
 	busy        Seconds
-	// slowdown scales this consumer's stage durations (>= 1; 0 treated
-	// as 1 for standby consumers constructed without it).
+	// slowdown scales this consumer's stage durations (factors in (0,1)
+	// are speedups; 0 treated as 1 for consumers constructed without it).
 	slowdown float64
+	// crashAt / recoverAt bound the injected dead window [crashAt,
+	// recoverAt); +Inf crashAt means the consumer never fails, +Inf
+	// recoverAt means a crash is permanent.
+	crashAt   Seconds
+	recoverAt Seconds
+	// windows are injected transient slowdown windows: stages starting
+	// inside one stretch by its factor.
+	windows []Window
 }
 
-// scale returns d adjusted for the consumer's slowdown.
+// newConsumer returns a consumer with no injected faults.
+func newConsumer(standby bool, availableAt Seconds, slowdown float64) *consumer {
+	return &consumer{
+		standby:     standby,
+		availableAt: availableAt,
+		slowdown:    slowdown,
+		crashAt:     math.Inf(1),
+		recoverAt:   math.Inf(1),
+	}
+}
+
+// scale returns d adjusted for the consumer's static slowdown. Factors in
+// (0, 1) are honored as speedups; 0 and 1 mean full speed.
 func (c *consumer) scale(d Seconds) Seconds {
-	if c.slowdown > 1 {
+	if c.slowdown > 0 && c.slowdown != 1 {
 		return d * c.slowdown
 	}
 	return d
 }
 
+// windowFactor multiplies every injected slowdown window open at start.
+func (c *consumer) windowFactor(start Seconds) float64 {
+	factor := 1.0
+	for _, w := range c.windows {
+		if w.contains(start) && w.Factor > 0 {
+			factor *= w.Factor
+		}
+	}
+	return factor
+}
+
+// extractDur is the actual Extract duration of a stage starting at start:
+// static slowdown, open slowdown windows, and any PCIe-degradation
+// windows (Extract is the host→GPU feature path).
+func (c *consumer) extractDur(d, start Seconds, f *Faults) Seconds {
+	d = c.scale(d)
+	if len(c.windows) > 0 {
+		d *= c.windowFactor(start)
+	}
+	if f != nil {
+		d *= f.extractFactor(start)
+	}
+	return d
+}
+
+// trainDur is the actual Train duration of a stage starting at start.
+func (c *consumer) trainDur(d, start Seconds) Seconds {
+	d = c.scale(d)
+	if len(c.windows) > 0 {
+		d *= c.windowFactor(start)
+	}
+	return d
+}
+
 // earliestStart returns when c could begin extracting a task that became
-// ready at `ready`.
+// ready at `ready`. A start inside the consumer's dead window [crashAt,
+// recoverAt) is pushed to the recovery time — +Inf for a permanent crash,
+// which marks the consumer ineligible.
 func (c *consumer) earliestStart(ready Seconds) Seconds {
 	s := c.extractFree
 	if c.availableAt > s {
@@ -157,33 +230,55 @@ func (c *consumer) earliestStart(ready Seconds) Seconds {
 	if ready > s {
 		s = ready
 	}
+	if s >= c.crashAt && s < c.recoverAt {
+		s = c.recoverAt
+	}
 	return s
+}
+
+// aliveAt reports whether the consumer is available (joined and not in
+// its dead window) at simulated time t.
+func (c *consumer) aliveAt(t Seconds) bool {
+	return c.availableAt <= t && !(t >= c.crashAt && t < c.recoverAt)
 }
 
 // Consume drains tasks (in FIFO order of Ready time) through the
 // configured Trainers and returns the epoch result. Tasks must have Ready
-// set (use Produce, or leave zero for pre-staged tasks).
+// set (use Produce, or leave zero for pre-staged tasks). When a fault
+// plan crashes a consumer mid-task, the task's Ready is rewritten to the
+// crash time as it re-enters the queue.
 func Consume(tasks []Task, opts ConsumeOptions) Result {
 	if opts.NumTrainers <= 0 && len(opts.StandbyAvailable) == 0 {
 		panic("sim: Consume with no trainers at all")
 	}
-	order := make([]int, len(tasks))
-	for i := range order {
-		order[i] = i
+	queue := make([]int, len(tasks))
+	for i := range queue {
+		queue[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool { return tasks[order[a]].Ready < tasks[order[b]].Ready })
+	sort.SliceStable(queue, func(a, b int) bool { return tasks[queue[a]].Ready < tasks[queue[b]].Ready })
 
 	consumers := make([]*consumer, 0, opts.NumTrainers+len(opts.StandbyAvailable))
 	for i := 0; i < opts.NumTrainers; i++ {
-		c := &consumer{slowdown: 1}
-		if i < len(opts.TrainerSlowdown) && opts.TrainerSlowdown[i] > 1 {
-			c.slowdown = opts.TrainerSlowdown[i]
+		slowdown := 1.0
+		if i < len(opts.TrainerSlowdown) {
+			s := opts.TrainerSlowdown[i]
+			if s < 0 || math.IsNaN(s) {
+				panic(fmt.Sprintf("sim: TrainerSlowdown[%d] = %v: factors must be non-negative (>1 slows, (0,1) speeds up, 0/1 = unset)", i, s))
+			}
+			if s > 0 {
+				slowdown = s
+			}
 		}
-		consumers = append(consumers, c)
+		consumers = append(consumers, newConsumer(false, 0, slowdown))
 	}
 	for _, at := range opts.StandbyAvailable {
-		consumers = append(consumers, &consumer{standby: true, availableAt: at})
+		consumers = append(consumers, newConsumer(true, at, 0))
 	}
+	faults := opts.Faults
+	if faults.empty() {
+		faults = nil // nil keeps every fault check on its zero-cost path
+	}
+	applyFaults(consumers, faults)
 
 	res := Result{TrainerBusy: make([]Seconds, opts.NumTrainers)}
 	var barrier Seconds // sync mode: last round's gradient exchange point
@@ -195,40 +290,68 @@ func Consume(tasks []Task, opts ConsumeOptions) Result {
 	roundSize := activeConsumersAt(consumers, 0)
 
 	// plan projects when consumer c would start and finish training the
-	// task, respecting its extract unit and its train unit. The sync
-	// barrier is intentionally excluded: it delays every consumer
-	// equally, so including it would mask per-consumer backlog and make
-	// selection degenerate (e.g. a standby Trainer could never win a
-	// tie against a backed-up normal Trainer). Callers apply the barrier
-	// to the chosen consumer's actual start.
+	// task, respecting its extract unit, its train unit, queue stalls,
+	// and its injected dead window. The sync barrier is intentionally
+	// excluded: it delays every consumer equally, so including it would
+	// mask per-consumer backlog and make selection degenerate (e.g. a
+	// standby Trainer could never win a tie against a backed-up normal
+	// Trainer). Callers apply the barrier to the chosen consumer's
+	// actual start.
 	plan := func(c *consumer, t *Task) (extractStart, trainStart Seconds) {
 		extractStart = c.earliestStart(t.Ready)
+		if faults != nil {
+			extractStart = faults.stallClamp(extractStart)
+			if extractStart >= c.crashAt && extractStart < c.recoverAt {
+				// A stall pushed the start into the dead window.
+				extractStart = faults.stallClamp(c.recoverAt)
+			}
+		}
 		extract := t.Extract
 		if c.standby {
 			extract = t.standbyExtract()
 		}
-		trainStart = extractStart + c.scale(extract)
+		trainStart = extractStart + c.extractDur(extract, extractStart, faults)
 		if c.trainFree > trainStart {
 			trainStart = c.trainFree
 		}
 		return extractStart, trainStart
 	}
 
-	for pos, idx := range order {
+	for len(queue) > 0 {
+		idx := queue[0]
+		queue = queue[1:]
 		t := &tasks[idx]
-		remaining := len(order) - pos // tasks not yet dequeued, incl. this one
+		remaining := len(queue) + 1 // tasks not yet dequeued, incl. this one
+
+		// Profit gating compares queue depth against the *surviving*
+		// normal Trainers: a permanent crash shrinks the divisor, which
+		// promotes standby Trainers earlier (§5.3 over the degraded
+		// machine).
+		aliveNormal := opts.NumTrainers
+		if faults != nil {
+			aliveNormal = 0
+			for _, c := range consumers[:opts.NumTrainers] {
+				if !math.IsInf(c.earliestStart(t.Ready), 1) {
+					aliveNormal++
+				}
+			}
+		}
 
 		// Pick the consumer that would start training this task first
 		// (ties: earliest extract start, then lowest index). Standby
-		// Trainers are only eligible when the profit metric says so.
+		// Trainers are only eligible when the profit metric says so;
+		// permanently crashed consumers never are.
 		pick := func(includeIdleStandby bool) int {
 			best := -1
 			bestTrain, bestExtract := math.Inf(1), math.Inf(1)
 			for ci, c := range consumers {
-				if c.standby && !includeIdleStandby && !standbyProfitable(remaining, opts) {
+				if c.standby && !includeIdleStandby && !standbyProfitable(remaining, aliveNormal, opts) {
 					continue
 				}
 				es, ts := plan(c, t)
+				if math.IsInf(ts, 1) {
+					continue
+				}
 				if ts < bestTrain || (ts == bestTrain && es < bestExtract) {
 					best, bestTrain, bestExtract = ci, ts, es
 				}
@@ -236,23 +359,60 @@ func Consume(tasks []Task, opts ConsumeOptions) Result {
 			return best
 		}
 		best := pick(false)
-		if best < 0 { // only standbys exist and none profitable: forced
+		if best < 0 { // only standbys eligible and none profitable: forced
 			best = pick(true)
+		}
+		if best < 0 {
+			panic("sim: all consumers failed with tasks pending")
 		}
 		c := consumers[best]
 
 		extract := t.Extract
 		if c.standby {
 			extract = t.standbyExtract()
-			res.TasksByStandby++
 		}
-		extract = c.scale(extract)
 		extractStart, trainStart := plan(c, t)
 		if opts.Sync && barrier > trainStart {
 			trainStart = barrier
 		}
-		extractEnd := extractStart + extract
-		trainEnd := trainStart + c.scale(t.Train)
+		extractDur := c.extractDur(extract, extractStart, faults)
+		extractEnd := extractStart + extractDur
+		trainDur := c.trainDur(t.Train, trainStart)
+		trainEnd := trainStart + trainDur
+
+		// A crash inside the attempt aborts it: the consumer's occupancy
+		// up to the crash is lost, its units resume at recovery (never,
+		// for a permanent crash), and the task re-enters the queue at
+		// the crash time in Ready order. earliestStart keeps post-crash
+		// starts out of the dead window, so each consumer aborts at most
+		// one task per epoch and the requeue loop terminates.
+		if extractStart < c.crashAt && trainEnd > c.crashAt {
+			res.FaultEvents = append(res.FaultEvents, FaultEvent{
+				Consumer: best,
+				Standby:  c.standby,
+				Task:     idx,
+				Start:    extractStart,
+				At:       c.crashAt,
+			})
+			res.Requeued++
+			lost := c.crashAt - extractStart
+			c.busy += lost
+			if !c.standby {
+				res.TrainerBusy[best] += lost
+			}
+			c.extractFree, c.trainFree = c.recoverAt, c.recoverAt
+			if t.Ready < c.crashAt {
+				t.Ready = c.crashAt
+			}
+			j := sort.Search(len(queue), func(i int) bool { return tasks[queue[i]].Ready > t.Ready })
+			queue = append(queue, 0)
+			copy(queue[j+1:], queue[j:])
+			queue[j] = idx
+			continue
+		}
+		if c.standby {
+			res.TasksByStandby++
+		}
 
 		if opts.Pipelined {
 			// Next extract may start as soon as this one vacates the
@@ -262,9 +422,9 @@ func Consume(tasks []Task, opts ConsumeOptions) Result {
 			c.extractFree = trainEnd
 		}
 		c.trainFree = trainEnd
-		c.busy += extract + t.Train
+		c.busy += extractDur + trainDur
 		if !c.standby {
-			res.TrainerBusy[best] += extract + t.Train
+			res.TrainerBusy[best] += extractDur + trainDur
 		}
 		if trainEnd > res.Makespan {
 			res.Makespan = trainEnd
@@ -309,22 +469,23 @@ func Consume(tasks []Task, opts ConsumeOptions) Result {
 	return res
 }
 
-// standbyProfitable evaluates the §5.3 profit metric for the current queue
-// depth.
-func standbyProfitable(remaining int, opts ConsumeOptions) bool {
-	if opts.NumTrainers == 0 {
+// standbyProfitable evaluates the §5.3 profit metric for the current
+// queue depth over the aliveNormal surviving normal Trainers.
+func standbyProfitable(remaining, aliveNormal int, opts ConsumeOptions) bool {
+	if aliveNormal <= 0 {
 		return true // P = +∞
 	}
-	p := float64(remaining)*opts.TrainerTaskTime/float64(opts.NumTrainers) - opts.StandbyTaskTime
+	p := float64(remaining)*opts.TrainerTaskTime/float64(aliveNormal) - opts.StandbyTaskTime
 	return p > 0
 }
 
 // activeConsumersAt counts consumers available at simulated time t
-// (standbys count once their Sampler has finished).
+// (standbys count once their Sampler has finished; crashed consumers
+// drop out for their dead window).
 func activeConsumersAt(cs []*consumer, t Seconds) int {
 	n := 0
 	for _, c := range cs {
-		if c.availableAt <= t {
+		if c.aliveAt(t) {
 			n++
 		}
 	}

@@ -10,10 +10,13 @@ import (
 // recorder, using the *simulated* clock: one "Sampler" process with a
 // thread per producer, one "Trainer" process with a thread per consumer
 // (standby Trainers get their own lanes), and one ph:"X" span per stage
-// of every task. The conversion only reads the timeline — Reports stay
-// bit-identical with tracing on or off. A nil recorder no-ops.
-func EmitTrace(rec *obs.Recorder, system string, timeline []TaskTiming) {
-	if rec == nil || len(timeline) == 0 {
+// of every task. Injected faults show up too: each aborted attempt is an
+// "aborted" span from its extract start to the crash, with an instant
+// "crash" marker at the crash time. The conversion only reads the
+// timeline and fault events — Reports stay bit-identical with tracing on
+// or off. A nil recorder no-ops.
+func EmitTrace(rec *obs.Recorder, system string, timeline []TaskTiming, faults []FaultEvent) {
+	if rec == nil || len(timeline) == 0 && len(faults) == 0 {
 		return
 	}
 	samplerLanes := map[int]obs.Lane{}
@@ -46,6 +49,23 @@ func EmitTrace(rec *obs.Recorder, system string, timeline []TaskTiming) {
 			obs.Attr{Key: "system", Value: system})
 		lane.Complete("train", tt.TrainStart, tt.TrainEnd-tt.TrainStart,
 			obs.Attr{Key: "task", Value: tt.Task},
+			obs.Attr{Key: "system", Value: system})
+	}
+	for _, fe := range faults {
+		lane, ok := consumerLanes[fe.Consumer]
+		if !ok {
+			name := fmt.Sprintf("trainer %d", fe.Consumer)
+			if fe.Standby {
+				name = fmt.Sprintf("standby %d", fe.Consumer)
+			}
+			lane = rec.Lane("Trainer", name)
+			consumerLanes[fe.Consumer] = lane
+		}
+		lane.Complete("aborted", fe.Start, fe.At-fe.Start,
+			obs.Attr{Key: "task", Value: fe.Task},
+			obs.Attr{Key: "system", Value: system})
+		lane.InstantAt("crash", fe.At,
+			obs.Attr{Key: "task", Value: fe.Task},
 			obs.Attr{Key: "system", Value: system})
 	}
 }

@@ -1,6 +1,9 @@
 package tensor
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Param is a trainable parameter: a value matrix with its gradient
 // accumulator and Adam moments.
@@ -63,6 +66,48 @@ func (a *Adam) updateOne(p *Param, i int, gi float32, val []float32, lr float64,
 	p.m[i] = b1*p.m[i] + (1-b1)*gi
 	p.v[i] = b2*p.v[i] + (1-b2)*gi*gi
 	val[i] -= float32(lr * float64(p.m[i]) / (math.Sqrt(float64(p.v[i])) + a.Epsilon))
+}
+
+// AdamState is a deep snapshot of an Adam optimizer's position — the
+// step counter and per-parameter moment vectors — restorable with
+// Restore (checkpoint support).
+type AdamState struct {
+	Step int
+	M, V [][]float32
+}
+
+// Snapshot deep-copies the optimizer state.
+func (a *Adam) Snapshot() AdamState {
+	st := AdamState{
+		Step: a.step,
+		M:    make([][]float32, len(a.params)),
+		V:    make([][]float32, len(a.params)),
+	}
+	for i, p := range a.params {
+		st.M[i] = append([]float32(nil), p.m...)
+		st.V[i] = append([]float32(nil), p.v...)
+	}
+	return st
+}
+
+// Restore rewinds the optimizer to a snapshot taken over the same
+// parameter set (shapes must match).
+func (a *Adam) Restore(st AdamState) error {
+	if len(st.M) != len(a.params) || len(st.V) != len(a.params) {
+		return fmt.Errorf("tensor: Adam.Restore: snapshot has %d/%d moment sets, optimizer has %d params",
+			len(st.M), len(st.V), len(a.params))
+	}
+	for i, p := range a.params {
+		if len(st.M[i]) != len(p.m) || len(st.V[i]) != len(p.v) {
+			return fmt.Errorf("tensor: Adam.Restore: param %d moment size mismatch", i)
+		}
+	}
+	a.step = st.Step
+	for i, p := range a.params {
+		copy(p.m, st.M[i])
+		copy(p.v, st.V[i])
+	}
+	return nil
 }
 
 // SGD is plain stochastic gradient descent (used by tests as a simple

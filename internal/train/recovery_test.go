@@ -1,0 +1,119 @@
+package train
+
+import (
+	"reflect"
+	"testing"
+
+	"gnnlab/internal/fault"
+	"gnnlab/internal/workload"
+)
+
+// TestCrashRecoveryBitIdentical is the injected-crash convergence check:
+// a run that crashes mid-epoch and restores its checkpoint must finish
+// with exactly the history (per-epoch loss, accuracy, update counts) of
+// an uninterrupted run.
+func TestCrashRecoveryBitIdentical(t *testing.T) {
+	d := convDataset(t)
+	base := Options{
+		Model:          workload.GraphSAGE,
+		TargetAccuracy: 1.01, // unreachable: run all epochs
+		MaxEpochs:      4,
+		EvalSize:       200,
+		CacheRatio:     0.2,
+	}
+	run := func(plan *fault.Plan, trainers, samplers int) *Result {
+		opts := base
+		opts.Faults = plan
+		opts.NumTrainers = trainers
+		opts.NumSamplers = samplers
+		res, err := Train(d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plan := &fault.Plan{Events: []fault.Event{
+		{Kind: fault.KindTrainerCrash, Epoch: 1, At: 0.3},
+		{Kind: fault.KindTrainerCrash, Epoch: 2, At: 0.8},
+		// Non-crash kinds only shape the simulated runtime; the live
+		// trainer ignores them.
+		{Kind: fault.KindSlowdown, Epoch: 0, At: 0, End: 1, Factor: 2},
+	}}
+
+	for _, mode := range []struct {
+		name               string
+		trainers, samplers int
+	}{
+		{"serial", 1, 0},
+		{"data-parallel+live-samplers", 2, 2},
+	} {
+		clean := run(nil, mode.trainers, mode.samplers)
+		faulty := run(plan, mode.trainers, mode.samplers)
+		if faulty.Recoveries != 2 {
+			t.Errorf("%s: Recoveries = %d, want 2", mode.name, faulty.Recoveries)
+		}
+		if clean.Recoveries != 0 {
+			t.Errorf("%s: clean run recovered %d times", mode.name, clean.Recoveries)
+		}
+		if !reflect.DeepEqual(clean.History, faulty.History) {
+			t.Errorf("%s: post-recovery history diverged:\nclean  %+v\nfaulty %+v",
+				mode.name, clean.History, faulty.History)
+		}
+		if clean.CacheHitRate != faulty.CacheHitRate {
+			t.Errorf("%s: hit rate polluted by aborted gathers: clean %v, faulty %v",
+				mode.name, clean.CacheHitRate, faulty.CacheHitRate)
+		}
+	}
+}
+
+// TestCrashEveryEpoch exercises a crash in every epoch including epoch 0
+// (before any update has been applied).
+func TestCrashEveryEpoch(t *testing.T) {
+	d := convDataset(t)
+	plan := &fault.Plan{Events: []fault.Event{
+		{Kind: fault.KindTrainerCrash, Epoch: 0, At: 0.01}, // crashes before round 1
+		{Kind: fault.KindTrainerCrash, Epoch: 1, At: 0.99},
+	}}
+	opts := Options{
+		Model:          workload.GraphSAGE,
+		TargetAccuracy: 1.01,
+		MaxEpochs:      2,
+		EvalSize:       100,
+	}
+	clean, err := Train(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Faults = plan
+	faulty, err := Train(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Recoveries != 2 {
+		t.Fatalf("Recoveries = %d, want 2", faulty.Recoveries)
+	}
+	if !reflect.DeepEqual(clean.History, faulty.History) {
+		t.Fatalf("history diverged:\nclean  %+v\nfaulty %+v", clean.History, faulty.History)
+	}
+}
+
+func TestCrashRound(t *testing.T) {
+	cases := []struct {
+		frac              float64
+		batches, trainers int
+		want              int
+	}{
+		{0.5, 10, 1, 5},
+		{0.01, 10, 1, 0},
+		{0.99, 10, 1, 9},
+		{1.5, 10, 1, 9}, // clamped below the final round
+		{-1, 10, 1, 0},  // clamped at zero
+		{0.5, 10, 4, 1}, // 3 rounds -> stop after 1
+		{0.5, 10, 0, 5}, // zero trainers treated as 1
+	}
+	for _, c := range cases {
+		if got := crashRound(c.frac, c.batches, c.trainers); got != c.want {
+			t.Errorf("crashRound(%v, %d, %d) = %d, want %d", c.frac, c.batches, c.trainers, got, c.want)
+		}
+	}
+}

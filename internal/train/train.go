@@ -7,10 +7,12 @@
 package train
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"gnnlab/internal/cache"
+	"gnnlab/internal/fault"
 	"gnnlab/internal/feature"
 	"gnnlab/internal/gen"
 	"gnnlab/internal/nn"
@@ -53,6 +55,15 @@ type Options struct {
 	// optimizer lanes) and training counters. Spans only observe: the
 	// trained model and history are identical with or without it.
 	Obs *obs.Recorder
+	// Faults injects the plan's trainer-crash events into the live run:
+	// each crash event scheduled for epoch e aborts that epoch mid-way
+	// (discarding its partial updates) and restores the per-epoch
+	// checkpoint, so the run recovers to bit-identical loss. An event's
+	// At in (0, 1) picks the crash point as a fraction of the epoch's
+	// gradient rounds; other values crash mid-epoch (simulated-time
+	// horizons do not translate to live rounds). Non-crash event kinds
+	// are ignored here — they only shape the simulated runtime.
+	Faults *fault.Plan
 }
 
 func (o Options) withDefaults() Options {
@@ -107,6 +118,9 @@ type Result struct {
 	// Model is the trained model (checkpoint with Model.SaveCheckpoint,
 	// or keep predicting with Model.Predict).
 	Model *nn.Model
+	// Recoveries counts injected crashes the run recovered from by
+	// restoring the per-epoch checkpoint.
+	Recoveries int
 }
 
 // Train runs sample-based GNN training on a labelled dataset until the
@@ -146,25 +160,63 @@ func Train(d *gen.Dataset, opts Options) (*Result, error) {
 	r := rng.New(opts.Seed)
 
 	res := &Result{Model: model}
+	crashes := crashFractions(opts.Faults)
+	reg := opts.Obs.Registry()
+	cInjected := reg.Counter("fault.injected")
+	cRecoveries := reg.Counter("train.recoveries")
 	updates := 0
 	for epoch := 0; epoch < opts.MaxEpochs; epoch++ {
-		er := r.Split(uint64(epoch))
-		batches := sampling.Batches(d.TrainSet, opts.BatchSize, er)
-		stream := produceSamples(d, alg, batches, opts, epoch)
-
-		epochLoss, stepCount, err := runEpochSteps(model, replicas, opt, store, d, stream, len(batches), opts)
-		if err != nil {
-			return nil, err
+		// The per-epoch restore point. Captured *before* the epoch's RNG
+		// Split (Split advances r), so a restored run re-derives the same
+		// batches; only taken when this epoch has a scheduled crash — the
+		// fault-free path is untouched.
+		pending := crashes[epoch]
+		var ck *checkpoint
+		if len(pending) > 0 {
+			ck = capture(model, opt, r, store, updates)
 		}
-		updates += stepCount
 
-		acc, err := evaluate(model, d, store, alg, evalSet, opts)
+		var epochLoss, acc float64
+		for {
+			er := r.Split(uint64(epoch))
+			batches := sampling.Batches(d.TrainSet, opts.BatchSize, er)
+			stream := produceSamples(d, alg, batches, opts, epoch)
+
+			stopAfter := -1
+			if len(pending) > 0 {
+				stopAfter = crashRound(pending[0], len(batches), opts.NumTrainers)
+				pending = pending[1:]
+			}
+			var stepCount int
+			var err error
+			epochLoss, stepCount, err = runEpochSteps(model, replicas, opt, store, d, stream, len(batches), opts, stopAfter)
+			if errors.Is(err, errInjectedCrash) {
+				stream.abandon()
+				if err := ck.restore(model, replicas, opt, r, store); err != nil {
+					return nil, err
+				}
+				updates = ck.updates
+				res.Recoveries++
+				cInjected.Add(1)
+				cRecoveries.Add(1)
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			updates += stepCount
+			epochLoss /= float64(len(batches))
+			break
+		}
+
+		var err error
+		acc, err = evaluate(model, d, store, alg, evalSet, opts)
 		if err != nil {
 			return nil, err
 		}
 		res.History = append(res.History, EpochRecord{
 			Epoch:   epoch,
-			Loss:    epochLoss / float64(len(batches)),
+			Loss:    epochLoss,
 			EvalAcc: acc,
 			Updates: updates,
 		})
@@ -180,13 +232,113 @@ func Train(d *gen.Dataset, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// errInjectedCrash is the sentinel a fault plan's trainer crash raises
+// inside runEpochSteps; Train recovers from it via the epoch checkpoint.
+var errInjectedCrash = errors.New("train: injected trainer crash")
+
+// crashFractions maps epoch → that epoch's scheduled crash points from
+// the plan's trainer-crash events, as fractions of the epoch's gradient
+// rounds (see Options.Faults). Nil when the plan has no crash events.
+func crashFractions(p *fault.Plan) map[int][]float64 {
+	if p.Empty() {
+		return nil
+	}
+	var out map[int][]float64
+	for _, e := range p.Events {
+		if e.Kind != fault.KindTrainerCrash {
+			continue
+		}
+		frac := 0.5
+		if e.At > 0 && e.At < 1 {
+			frac = e.At
+		}
+		if out == nil {
+			out = map[int][]float64{}
+		}
+		out[e.Epoch] = append(out[e.Epoch], frac)
+	}
+	return out
+}
+
+// crashRound converts a crash fraction into the number of gradient
+// rounds that complete before the abort (at least 0, and always before
+// the epoch's last round so a crash is never a silent no-op).
+func crashRound(frac float64, numBatches, numTrainers int) int {
+	if numTrainers < 1 {
+		numTrainers = 1
+	}
+	rounds := (numBatches + numTrainers - 1) / numTrainers
+	stop := int(frac * float64(rounds))
+	if stop >= rounds {
+		stop = rounds - 1
+	}
+	if stop < 0 {
+		stop = 0
+	}
+	return stop
+}
+
+// checkpoint is a per-epoch restore point: everything a mid-epoch crash
+// must rewind — parameter values, optimizer moments, the RNG position,
+// the update count and the feature-store accounting.
+type checkpoint struct {
+	updates      int
+	values       [][]float32
+	adam         tensor.AdamState
+	rng          rng.State
+	hits, misses int64
+}
+
+// capture deep-copies the training state at the top of an epoch.
+func capture(model *nn.Model, opt *tensor.Adam, r *rng.Rand, store *feature.Store, updates int) *checkpoint {
+	ck := &checkpoint{updates: updates, adam: opt.Snapshot(), rng: r.State()}
+	ck.hits, ck.misses = store.Stats()
+	for _, p := range model.Params() {
+		ck.values = append(ck.values, append([]float32(nil), p.Value.Data...))
+	}
+	return ck
+}
+
+// restore rewinds the master model, its replicas, the optimizer, the
+// epoch RNG and the store counters to the checkpoint; all gradient
+// accumulators are zeroed (a crashed round may have left partial sums).
+func (ck *checkpoint) restore(model *nn.Model, replicas []*nn.Model, opt *tensor.Adam, r *rng.Rand, store *feature.Store) error {
+	params := model.Params()
+	if len(ck.values) != len(params) {
+		return fmt.Errorf("train: checkpoint has %d params, model has %d", len(ck.values), len(params))
+	}
+	for i, p := range params {
+		if len(ck.values[i]) != len(p.Value.Data) {
+			return fmt.Errorf("train: checkpoint param %d size mismatch", i)
+		}
+		copy(p.Value.Data, ck.values[i])
+		p.ZeroGrad()
+	}
+	if err := opt.Restore(ck.adam); err != nil {
+		return err
+	}
+	for _, rep := range replicas {
+		if err := nn.CopyParams(rep.Params(), params); err != nil {
+			return err
+		}
+		for _, p := range rep.Params() {
+			p.ZeroGrad()
+		}
+	}
+	r.SetState(ck.rng)
+	store.SetStats(ck.hits, ck.misses)
+	return nil
+}
+
 // runEpochSteps drives one epoch of synchronous data-parallel training:
 // rounds of up to NumTrainers mini-batches run concurrently (one per model
 // replica; the master model doubles as replica 0), gradients are averaged
 // into the master, the optimizer steps, and updated parameters fan back
 // out to the replicas — the live analogue of the gradient exchange in §2.
 // It returns the summed loss and the number of gradient updates.
-func runEpochSteps(model *nn.Model, replicas []*nn.Model, opt *tensor.Adam, store *feature.Store, d *gen.Dataset, stream *sampleStream, numBatches int, opts Options) (float64, int, error) {
+// stopAfterRounds >= 0 injects a trainer crash: that many rounds complete,
+// then the epoch aborts with errInjectedCrash (-1 never crashes).
+func runEpochSteps(model *nn.Model, replicas []*nn.Model, opt *tensor.Adam, store *feature.Store, d *gen.Dataset, stream *sampleStream, numBatches int, opts Options, stopAfterRounds int) (float64, int, error) {
 	workers := append([]*nn.Model{model}, replicas...)
 	rec := opts.Obs
 	var trainerLanes []obs.Lane
@@ -206,6 +358,9 @@ func runEpochSteps(model *nn.Model, replicas []*nn.Model, opt *tensor.Adam, stor
 	var epochLoss float64
 	updates := 0
 	for start := 0; start < numBatches; start += len(workers) {
+		if updates == stopAfterRounds {
+			return epochLoss, updates, errInjectedCrash
+		}
 		end := start + len(workers)
 		if end > numBatches {
 			end = numBatches
@@ -323,6 +478,17 @@ type sampleStream struct {
 
 	done    *queue.Queue[indexedSample]
 	pending map[int]*sampling.Sample
+	cancel  func()
+}
+
+// abandon stops a live stream mid-epoch (injected crash recovery): the
+// remaining work drains unserved and the done queue closes, so blocked
+// Sampler goroutines wake, drop their samples and exit. Inline streams
+// have nothing to stop.
+func (st *sampleStream) abandon() {
+	if st.cancel != nil {
+		st.cancel()
+	}
 }
 
 type indexedSample struct {
@@ -411,7 +577,15 @@ func produceSamples(d *gen.Dataset, alg sampling.Algorithm, batches [][]int32, o
 			}
 		}()
 	}
-	return &sampleStream{done: done, pending: map[int]*sampling.Sample{}}
+	cancel := func() {
+		for {
+			if _, ok, _ := work.TryDequeue(); !ok {
+				break
+			}
+		}
+		done.Close()
+	}
+	return &sampleStream{done: done, pending: map[int]*sampling.Sample{}, cancel: cancel}
 }
 
 // sampleOne runs one mini-batch's Sample stage, converting a panicking

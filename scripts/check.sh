@@ -17,3 +17,9 @@ go test -short -race -timeout 3600s -run xxx -bench=BenchmarkTable1Breakdown -be
 # and running without paying full benchmark time.
 go test -timeout 3600s -run xxx -bench='BenchmarkSample$' -benchtime=1x ./internal/sampling
 go test -timeout 3600s -run xxx -bench=BenchmarkCacheRank -benchtime=1x ./internal/cache
+# Fault-injection determinism suite: empty plans are bit-identical no-ops,
+# seeded plans reproduce across worker counts, and an injected crash
+# recovers live training to the exact uninterrupted loss history.
+go test -timeout 3600s -count=1 -run 'Fault|Resilience|CrashRecovery' ./internal/sim ./internal/fault ./internal/core ./internal/train ./internal/experiments
+# Resilience smoke: the fault sweep end to end through the CLI.
+go run ./cmd/gnnlab-bench -scale 8 -gpus 4 -epochs 2 -faults 3 resilience
