@@ -63,6 +63,12 @@ func Empty(numVertices int, vertexFeatureBytes int64) *Table {
 // NumSlots returns the number of cached vertices.
 func (t *Table) NumSlots() int { return len(t.cached) }
 
+// Cached returns the resident vertices in slot order: Cached()[i] is the
+// vertex stored in slot i. The slice is the table's own — callers must
+// not modify it. It lets cache consumers (e.g. feature.Store.EnableCache)
+// visit exactly the residents in O(slots) instead of probing all |V|.
+func (t *Table) Cached() []int32 { return t.cached }
+
 // Ratio returns the cache ratio α.
 func (t *Table) Ratio() float64 { return RatioFor(len(t.cached), t.numVertices) }
 

@@ -27,6 +27,11 @@ type Store struct {
 	cached []float32
 
 	hits, misses atomic.Int64
+	// gatherReuses/gatherGrows count GatherInto calls that reused the
+	// destination's backing array vs. ones that had to grow it — the
+	// Extract-stage analogue of sampling's ScratchStats, surfaced as the
+	// feature.gather_reuse / feature.gather_grow obs counters by train.
+	gatherReuses, gatherGrows atomic.Int64
 }
 
 // NewStore wraps the host feature table (row-major, n×dim).
@@ -54,13 +59,21 @@ func (s *Store) EnableCache(table *cache.Table) error {
 		return fmt.Errorf("feature: table row size %d B != store row size %d B",
 			table.VertexFeatureBytes(), s.dim*4)
 	}
-	cached := make([]float32, table.NumSlots()*s.dim)
-	for v := 0; v < s.NumVertices(); v++ {
-		slot, ok := table.Slot(int32(v))
-		if !ok {
-			continue
+	if n := int64(s.NumVertices()); n > 0 {
+		// Residents are validated by cache.Load to lie in [0, numVertices);
+		// only the vertex-count agreement needs checking here.
+		for _, v := range table.Cached() {
+			if int64(v) >= n {
+				return fmt.Errorf("feature: cached vertex %d outside store (n=%d)", v, n)
+			}
 		}
-		copy(cached[int(slot)*s.dim:(int(slot)+1)*s.dim], s.hostRow(int32(v)))
+	}
+	// Visit exactly the residents (slot order) instead of probing all |V|:
+	// O(slots) work, which matters when EnableCache runs on every policy
+	// switch of a long experiment sweep.
+	cached := make([]float32, table.NumSlots()*s.dim)
+	for slot, v := range table.Cached() {
+		copy(cached[slot*s.dim:(slot+1)*s.dim], s.hostRow(v))
 	}
 	s.table = table
 	s.cached = cached
@@ -79,23 +92,44 @@ func (s *Store) hostRow(v int32) []float32 {
 // each row from the cached tier on a hit and from host memory on a miss,
 // and returns the hit/miss counts.
 func (s *Store) Gather(smp *sampling.Sample) (*tensor.Matrix, int, int) {
-	out := tensor.New(len(smp.Input), s.dim)
+	out := &tensor.Matrix{}
+	hits, misses := s.GatherInto(out, smp)
+	return out, hits, misses
+}
+
+// GatherInto is Gather writing into dst, reusing its backing array when
+// the capacity suffices — the pooled Extract path of the zero-alloc
+// training loop. Every row is fully overwritten, so a reused matrix is
+// bit-identical to a fresh one. dst is resized to len(Input)×dim.
+func (s *Store) GatherInto(dst *tensor.Matrix, smp *sampling.Sample) (int, int) {
+	if dst.Reuse(len(smp.Input), s.dim) {
+		s.gatherGrows.Add(1)
+	} else {
+		s.gatherReuses.Add(1)
+	}
 	hits, misses := 0, 0
 	for local, v := range smp.Input {
-		dst := out.Row(local)
+		row := dst.Row(local)
 		if s.table != nil {
 			if slot, ok := s.table.Slot(v); ok {
-				copy(dst, s.cached[int(slot)*s.dim:(int(slot)+1)*s.dim])
+				copy(row, s.cached[int(slot)*s.dim:(int(slot)+1)*s.dim])
 				hits++
 				continue
 			}
 		}
-		copy(dst, s.hostRow(v))
+		copy(row, s.hostRow(v))
 		misses++
 	}
 	s.hits.Add(int64(hits))
 	s.misses.Add(int64(misses))
-	return out, hits, misses
+	return hits, misses
+}
+
+// GatherStats returns how many GatherInto calls reused vs. grew their
+// destination buffer (fresh Gather calls count as grows: the empty
+// destination always allocates).
+func (s *Store) GatherStats() (reuses, grows int64) {
+	return s.gatherReuses.Load(), s.gatherGrows.Load()
 }
 
 // Stats returns the accumulated gather counters.

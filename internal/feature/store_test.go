@@ -6,6 +6,7 @@ import (
 
 	"gnnlab/internal/cache"
 	"gnnlab/internal/sampling"
+	"gnnlab/internal/tensor"
 )
 
 func makeHost(n, dim int) []float32 {
@@ -137,6 +138,87 @@ func TestGatherEquivalenceProperty(t *testing.T) {
 		return true
 	}, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestGatherIntoReusesAndMatches: a reused destination produces the same
+// matrix as a fresh gather (shrinking batches included), never grows its
+// backing array once warm, and allocates nothing in steady state.
+func TestGatherIntoReusesAndMatches(t *testing.T) {
+	const n, dim = 30, 3
+	s, _ := NewStore(makeHost(n, dim), dim)
+	table, err := cache.Load([]int32{4, 8, 15}, 3, n, dim*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableCache(table); err != nil {
+		t.Fatal(err)
+	}
+	batches := [][]int32{{4, 1, 8}, {15, 2, 3, 4, 5}, {9}, {8, 4}}
+	var dst tensor.Matrix
+	for _, in := range batches {
+		smp := sampleOf(in...)
+		fresh, fh, fm := s.Gather(smp)
+		ph, pm := s.GatherInto(&dst, smp)
+		if fh != ph || fm != pm {
+			t.Fatalf("batch %v: fresh %d/%d pooled %d/%d", in, fh, fm, ph, pm)
+		}
+		if dst.Rows != fresh.Rows || dst.Cols != fresh.Cols {
+			t.Fatalf("batch %v: shape %dx%d, want %dx%d", in, dst.Rows, dst.Cols, fresh.Rows, fresh.Cols)
+		}
+		for i := range fresh.Data {
+			if dst.Data[i] != fresh.Data[i] {
+				t.Fatalf("batch %v: pooled gather differs at %d", in, i)
+			}
+		}
+	}
+	reuses, grows := s.GatherStats()
+	// 4 fresh Gathers grow; dst grows on batches 1-2 and reuses afterwards.
+	if grows != 4+2 || reuses != 2 {
+		t.Errorf("gather stats: %d reuses, %d grows", reuses, grows)
+	}
+	smp := sampleOf(4, 9, 8, 1)
+	if allocs := testing.AllocsPerRun(20, func() { s.GatherInto(&dst, smp) }); allocs != 0 {
+		t.Errorf("steady-state GatherInto allocates %v/op", allocs)
+	}
+}
+
+// TestEnableCacheVisitsResidentsOnly: the cached tier built from the
+// resident list matches what an exhaustive |V| probe would build.
+func TestEnableCacheVisitsResidentsOnly(t *testing.T) {
+	const n, dim = 40, 2
+	host := makeHost(n, dim)
+	ranking := make([]int32, n)
+	for i := range ranking {
+		ranking[i] = int32((i*11 + 5) % n)
+	}
+	table, err := cache.Load(ranking, 7, n, dim*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := NewStore(host, dim)
+	if err := s.EnableCache(table); err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); int(v) < n; v++ {
+		slot, ok := table.Slot(v)
+		if !ok {
+			continue
+		}
+		for j := 0; j < dim; j++ {
+			if s.cached[int(slot)*dim+j] != host[int(v)*dim+j] {
+				t.Fatalf("vertex %d slot %d lane %d not materialized", v, slot, j)
+			}
+		}
+	}
+	// A table sized for more vertices than the store holds is rejected.
+	big, err := cache.Load([]int32{int32(n + 2)}, 1, n+5, dim*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := NewStore(host, dim)
+	if err := s2.EnableCache(big); err == nil {
+		t.Error("out-of-range resident accepted")
 	}
 }
 

@@ -51,6 +51,12 @@ type Conv struct {
 	Bias  *tensor.Param
 	// ReLUAfter applies ReLU to the output (true for hidden layers).
 	ReLUAfter bool
+
+	// ctxPool is the reused forward context for workspace passes. A layer
+	// instance serves one goroutine (models are cloned per replica), and
+	// only one context per layer is live between a forward and its
+	// backward, so a single slot suffices.
+	ctxPool convCtx
 }
 
 // NewConv creates a layer with Glorot-initialized weights.
@@ -83,24 +89,30 @@ type convCtx struct {
 }
 
 // ForwardLayer implements Layer.
-func (c *Conv) ForwardLayer(g *Compact, hIn *tensor.Matrix, numOut int) (*tensor.Matrix, any) {
-	out, ctx := c.Forward(g, hIn, numOut)
+func (c *Conv) ForwardLayer(ws *Workspace, g *Compact, hIn *tensor.Matrix, numOut int) (*tensor.Matrix, any) {
+	out, ctx := c.forward(ws, g, hIn, numOut)
 	return out, ctx
 }
 
 // BackwardLayer implements Layer.
-func (c *Conv) BackwardLayer(g *Compact, ctx any, gradOut *tensor.Matrix) *tensor.Matrix {
-	return c.Backward(g, ctx.(*convCtx), gradOut)
+func (c *Conv) BackwardLayer(ws *Workspace, g *Compact, ctx any, gradOut *tensor.Matrix) *tensor.Matrix {
+	return c.backward(ws, g, ctx.(*convCtx), gradOut)
 }
 
 // Forward computes activations for the first numOut local vertices from
 // hIn (activations of at least all their neighbors). It returns the output
 // and the context for Backward.
 func (c *Conv) Forward(g *Compact, hIn *tensor.Matrix, numOut int) (*tensor.Matrix, *convCtx) {
+	return c.forward(nil, g, hIn, numOut)
+}
+
+// forward is Forward drawing buffers and the context from ws (nil =
+// fresh allocations, the pre-workspace behavior).
+func (c *Conv) forward(ws *Workspace, g *Compact, hIn *tensor.Matrix, numOut int) (*tensor.Matrix, *convCtx) {
 	if hIn.Cols != c.InDim {
 		panic(fmt.Sprintf("nn: conv input dim %d, want %d", hIn.Cols, c.InDim))
 	}
-	agg := tensor.New(numOut, c.InDim)
+	agg := wsMatrix(ws, numOut, c.InDim)
 	for v := 0; v < numOut; v++ {
 		nbrs := g.Neighbors(int32(v))
 		dst := agg.Row(v)
@@ -120,18 +132,24 @@ func (c *Conv) Forward(g *Compact, hIn *tensor.Matrix, numOut int) (*tensor.Matr
 			}
 		}
 	}
-	out := tensor.New(numOut, c.OutDim)
+	out := wsMatrix(ws, numOut, c.OutDim)
 	tensor.MatMul(out, agg, c.WNbr.Value)
 	if c.WSelf != nil {
-		selfPart := tensor.New(numOut, c.OutDim)
-		hSelf := tensor.FromData(numOut, c.InDim, hIn.Data[:numOut*c.InDim])
+		selfPart := wsMatrix(ws, numOut, c.OutDim)
+		hSelf := wsView(ws, numOut, c.InDim, hIn.Data[:numOut*c.InDim])
 		tensor.MatMul(selfPart, hSelf, c.WSelf.Value)
 		tensor.AXPY(1, selfPart.Data, out.Data)
 	}
 	tensor.AddBiasRows(out, c.Bias.Value.Data)
-	ctx := &convCtx{hIn: hIn, agg: agg, numOut: numOut}
+	var ctx *convCtx
+	if ws != nil {
+		ctx = &c.ctxPool
+	} else {
+		ctx = &convCtx{}
+	}
+	*ctx = convCtx{hIn: hIn, agg: agg, numOut: numOut}
 	if c.ReLUAfter {
-		ctx.mask = tensor.ReLU(out)
+		ctx.mask = tensor.ReLUMask(out, wsMask(ws, len(out.Data)))
 	}
 	return out, ctx
 }
@@ -140,19 +158,23 @@ func (c *Conv) Forward(g *Compact, hIn *tensor.Matrix, numOut int) (*tensor.Matr
 // parameter gradients, and returns the gradient w.r.t. hIn (full Needed[l-1]
 // rows; rows beyond numOut receive only scattered neighbor gradients).
 func (c *Conv) Backward(g *Compact, ctx *convCtx, gradOut *tensor.Matrix) *tensor.Matrix {
+	return c.backward(nil, g, ctx, gradOut)
+}
+
+func (c *Conv) backward(ws *Workspace, g *Compact, ctx *convCtx, gradOut *tensor.Matrix) *tensor.Matrix {
 	if ctx.mask != nil {
 		tensor.ReLUBackward(gradOut, ctx.mask)
 	}
 	// Bias gradient.
 	tensor.SumRows(gradOut, c.Bias.Grad.Data)
 	// Weight gradients.
-	wg := tensor.New(c.InDim, c.OutDim)
+	wg := wsMatrix(ws, c.InDim, c.OutDim)
 	tensor.MatMulATB(wg, ctx.agg, gradOut)
 	tensor.AXPY(1, wg.Data, c.WNbr.Grad.Data)
 
-	gradIn := tensor.New(ctx.hIn.Rows, c.InDim)
+	gradIn := wsMatrix(ws, ctx.hIn.Rows, c.InDim)
 	// Through the aggregation: gradAgg = gradOut @ WNbrᵀ, scattered back.
-	gradAgg := tensor.New(ctx.numOut, c.InDim)
+	gradAgg := wsMatrix(ws, ctx.numOut, c.InDim)
 	tensor.MatMulABT(gradAgg, gradOut, c.WNbr.Value)
 	for v := 0; v < ctx.numOut; v++ {
 		nbrs := g.Neighbors(int32(v))
@@ -175,11 +197,11 @@ func (c *Conv) Backward(g *Compact, ctx *convCtx, gradOut *tensor.Matrix) *tenso
 	}
 	// Through the self path (SAGE-family).
 	if c.WSelf != nil {
-		hSelf := tensor.FromData(ctx.numOut, c.InDim, ctx.hIn.Data[:ctx.numOut*c.InDim])
-		wsg := tensor.New(c.InDim, c.OutDim)
+		hSelf := wsView(ws, ctx.numOut, c.InDim, ctx.hIn.Data[:ctx.numOut*c.InDim])
+		wsg := wsMatrix(ws, c.InDim, c.OutDim)
 		tensor.MatMulATB(wsg, hSelf, gradOut)
 		tensor.AXPY(1, wsg.Data, c.WSelf.Grad.Data)
-		gradSelf := tensor.New(ctx.numOut, c.InDim)
+		gradSelf := wsMatrix(ws, ctx.numOut, c.InDim)
 		tensor.MatMulABT(gradSelf, gradOut, c.WSelf.Value)
 		tensor.AXPY(1, gradSelf.Data, gradIn.Data[:ctx.numOut*c.InDim])
 	}

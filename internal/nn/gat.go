@@ -29,6 +29,11 @@ type GAT struct {
 	Bias     *tensor.Param
 	// ReLUAfter applies ReLU to the output (hidden layers).
 	ReLUAfter bool
+
+	// ctxPool is the reused forward context for workspace passes (one
+	// slot suffices: a layer serves one goroutine and one context is
+	// live between forward and backward).
+	ctxPool gatCtx
 }
 
 // gatHead holds one attention head's parameters.
@@ -95,40 +100,54 @@ type gatCtx struct {
 }
 
 // ForwardLayer implements Layer.
-func (g *GAT) ForwardLayer(c *Compact, hIn *tensor.Matrix, numOut int) (*tensor.Matrix, any) {
-	out, ctx := g.Forward(c, hIn, numOut)
+func (g *GAT) ForwardLayer(ws *Workspace, c *Compact, hIn *tensor.Matrix, numOut int) (*tensor.Matrix, any) {
+	out, ctx := g.forward(ws, c, hIn, numOut)
 	return out, ctx
 }
 
 // BackwardLayer implements Layer.
-func (g *GAT) BackwardLayer(c *Compact, ctx any, gradOut *tensor.Matrix) *tensor.Matrix {
-	return g.Backward(c, ctx.(*gatCtx), gradOut)
+func (g *GAT) BackwardLayer(ws *Workspace, c *Compact, ctx any, gradOut *tensor.Matrix) *tensor.Matrix {
+	return g.backward(ws, c, ctx.(*gatCtx), gradOut)
 }
 
 // Forward computes activations for the first numOut local vertices.
 func (g *GAT) Forward(c *Compact, hIn *tensor.Matrix, numOut int) (*tensor.Matrix, *gatCtx) {
+	return g.forward(nil, c, hIn, numOut)
+}
+
+// forward is Forward drawing buffers and the context from ws (nil =
+// fresh allocations). The attention rows (pre-activation scores, alphas,
+// dAlpha) are variable-length per target and come from the workspace's
+// float slots; every element is overwritten before use.
+func (g *GAT) forward(ws *Workspace, c *Compact, hIn *tensor.Matrix, numOut int) (*tensor.Matrix, *gatCtx) {
 	headDim := g.OutDim / g.NumHeads
-	out := tensor.New(numOut, g.OutDim)
-	ctx := &gatCtx{hIn: hIn, numOut: numOut, heads: make([]gatHeadCtx, g.NumHeads)}
+	out := wsMatrix(ws, numOut, g.OutDim)
+	var ctx *gatCtx
+	if ws != nil {
+		ctx = &g.ctxPool
+	} else {
+		ctx = &gatCtx{}
+	}
+	ctx.hIn, ctx.numOut, ctx.mask = hIn, numOut, nil
+	ctx.heads = growHeadCtxs(ctx.heads, g.NumHeads)
 	for hi, head := range g.heads {
-		z := tensor.New(hIn.Rows, headDim)
-		tensor.MatMul(z, hIn, head.W.Value)
-		hc := gatHeadCtx{
-			z:      z,
-			alphas: make([][]float32, numOut),
-			pres:   make([][]float32, numOut),
-		}
+		hc := &ctx.heads[hi]
+		hc.z = wsMatrix(ws, hIn.Rows, headDim)
+		tensor.MatMul(hc.z, hIn, head.W.Value)
+		hc.alphas = growFloatRows(hc.alphas, numOut)
+		hc.pres = growFloatRows(hc.pres, numOut)
+		z := hc.z
 		aL, aR := head.AttnL.Value.Data, head.AttnR.Value.Data
 		off := hi * headDim
 		for t := 0; t < numOut; t++ {
 			nbrs := c.Neighbors(int32(t))
-			pre := make([]float32, len(nbrs)+1)
+			pre := wsFloats(ws, len(nbrs)+1)
 			selfL := dot(aL, z.Row(t))
 			pre[0] = leaky(selfL + dot(aR, z.Row(t)))
 			for i, nbr := range nbrs {
 				pre[i+1] = leaky(selfL + dot(aR, z.Row(int(nbr))))
 			}
-			alpha := softmax(pre)
+			alpha := softmaxInto(wsFloats(ws, len(pre)), pre)
 			dst := out.Row(t)[off : off+headDim]
 			tensor.AXPY(alpha[0], z.Row(t), dst)
 			for i, nbr := range nbrs {
@@ -137,30 +156,51 @@ func (g *GAT) Forward(c *Compact, hIn *tensor.Matrix, numOut int) (*tensor.Matri
 			hc.alphas[t] = alpha
 			hc.pres[t] = pre
 		}
-		ctx.heads[hi] = hc
 	}
 	tensor.AddBiasRows(out, g.Bias.Value.Data)
 	if g.ReLUAfter {
-		ctx.mask = tensor.ReLU(out)
+		ctx.mask = tensor.ReLUMask(out, wsMask(ws, len(out.Data)))
 	}
 	return out, ctx
+}
+
+// growHeadCtxs reslices buf to n head contexts, keeping pooled entries
+// (and the buffers they own) when capacity allows.
+func growHeadCtxs(buf []gatHeadCtx, n int) []gatHeadCtx {
+	if cap(buf) < n {
+		return make([]gatHeadCtx, n)
+	}
+	return buf[:n]
+}
+
+// growFloatRows reslices a per-target row table to n entries; stale
+// pooled entries are overwritten before use.
+func growFloatRows(buf [][]float32, n int) [][]float32 {
+	if cap(buf) < n {
+		return make([][]float32, n)
+	}
+	return buf[:n]
 }
 
 // Backward propagates gradOut, accumulating parameter gradients and
 // returning the gradient with respect to hIn.
 func (g *GAT) Backward(c *Compact, ctx *gatCtx, gradOut *tensor.Matrix) *tensor.Matrix {
+	return g.backward(nil, c, ctx, gradOut)
+}
+
+func (g *GAT) backward(ws *Workspace, c *Compact, ctx *gatCtx, gradOut *tensor.Matrix) *tensor.Matrix {
 	if ctx.mask != nil {
 		tensor.ReLUBackward(gradOut, ctx.mask)
 	}
 	tensor.SumRows(gradOut, g.Bias.Grad.Data)
 
 	headDim := g.OutDim / g.NumHeads
-	gradIn := tensor.New(ctx.hIn.Rows, g.InDim)
+	gradIn := wsMatrix(ws, ctx.hIn.Rows, g.InDim)
 	for hi, head := range g.heads {
 		hc := ctx.heads[hi]
 		aL, aR := head.AttnL.Value.Data, head.AttnR.Value.Data
 		gAL, gAR := head.AttnL.Grad.Data, head.AttnR.Grad.Data
-		gradZ := tensor.New(hc.z.Rows, headDim)
+		gradZ := wsMatrix(ws, hc.z.Rows, headDim)
 		off := hi * headDim
 
 		for t := 0; t < ctx.numOut; t++ {
@@ -170,7 +210,7 @@ func (g *GAT) Backward(c *Compact, ctx *gatCtx, gradOut *tensor.Matrix) *tensor.
 			gOut := gradOut.Row(t)[off : off+headDim]
 
 			// dα_j = gOut · z_j ; participant j=0 is self.
-			dAlpha := make([]float32, len(alpha))
+			dAlpha := wsFloats(ws, len(alpha))
 			dAlpha[0] = dot(gOut, hc.z.Row(t))
 			for i, nbr := range nbrs {
 				dAlpha[i+1] = dot(gOut, hc.z.Row(int(nbr)))
@@ -204,10 +244,10 @@ func (g *GAT) Backward(c *Compact, ctx *gatCtx, gradOut *tensor.Matrix) *tensor.
 		}
 
 		// z = hIn @ W_h.
-		wg := tensor.New(g.InDim, headDim)
+		wg := wsMatrix(ws, g.InDim, headDim)
 		tensor.MatMulATB(wg, ctx.hIn, gradZ)
 		tensor.AXPY(1, wg.Data, head.W.Grad.Data)
-		headGradIn := tensor.New(ctx.hIn.Rows, g.InDim)
+		headGradIn := wsMatrix(ws, ctx.hIn.Rows, g.InDim)
 		tensor.MatMulABT(headGradIn, gradZ, head.W.Value)
 		tensor.AXPY(1, headGradIn.Data, gradIn.Data)
 	}
@@ -231,13 +271,18 @@ func leaky(x float32) float32 {
 
 // softmax returns the normalized exponentials of xs.
 func softmax(xs []float32) []float32 {
+	return softmaxInto(make([]float32, len(xs)), xs)
+}
+
+// softmaxInto writes the normalized exponentials of xs into out (same
+// length, every element overwritten) and returns it.
+func softmaxInto(out, xs []float32) []float32 {
 	maxv := xs[0]
 	for _, v := range xs[1:] {
 		if v > maxv {
 			maxv = v
 		}
 	}
-	out := make([]float32, len(xs))
 	var sum float64
 	for i, v := range xs {
 		e := math.Exp(float64(v - maxv))

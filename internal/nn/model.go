@@ -10,11 +10,14 @@ import (
 )
 
 // Layer is one GNN layer with a hand-written backward pass. Forward
-// returns an opaque context that Backward consumes.
+// returns an opaque context that Backward consumes. ws supplies pooled
+// working tensors; a nil ws means fresh allocations (the output and
+// context then have unbounded lifetime, with a non-nil ws they are
+// borrowed until the workspace's next pass).
 type Layer interface {
 	Params() []*tensor.Param
-	ForwardLayer(c *Compact, hIn *tensor.Matrix, numOut int) (*tensor.Matrix, any)
-	BackwardLayer(c *Compact, ctx any, gradOut *tensor.Matrix) *tensor.Matrix
+	ForwardLayer(ws *Workspace, c *Compact, hIn *tensor.Matrix, numOut int) (*tensor.Matrix, any)
+	BackwardLayer(ws *Workspace, c *Compact, ctx any, gradOut *tensor.Matrix) *tensor.Matrix
 }
 
 // Model is a stack of GNN layers ending in a classifier head (the last
@@ -75,6 +78,13 @@ func (m *Model) Params() []*tensor.Param {
 // feats (NumVertices × inputDim) and returns the seed logits plus the
 // layer contexts for Backward.
 func (m *Model) Forward(g *Compact, feats *tensor.Matrix) (*tensor.Matrix, []any, error) {
+	return m.ForwardWS(nil, g, feats)
+}
+
+// ForwardWS is Forward drawing working tensors from ws (nil = fresh).
+// With a non-nil ws, logits and contexts are borrowed until the
+// workspace's next pass.
+func (m *Model) ForwardWS(ws *Workspace, g *Compact, feats *tensor.Matrix) (*tensor.Matrix, []any, error) {
 	if g.NumLevels != len(m.Layers) {
 		return nil, nil, fmt.Errorf("nn: sample has %d hops, model has %d layers", g.NumLevels, len(m.Layers))
 	}
@@ -82,10 +92,10 @@ func (m *Model) Forward(g *Compact, feats *tensor.Matrix) (*tensor.Matrix, []any
 		return nil, nil, fmt.Errorf("nn: %d feature rows for %d vertices", feats.Rows, g.NumVertices)
 	}
 	h := feats
-	ctxs := make([]any, len(m.Layers))
+	ctxs := wsCtxs(ws, len(m.Layers))
 	for l, layer := range m.Layers {
 		var ctx any
-		h, ctx = layer.ForwardLayer(g, h, g.Needed[l+1])
+		h, ctx = layer.ForwardLayer(ws, g, h, g.Needed[l+1])
 		ctxs[l] = ctx
 	}
 	return h, ctxs, nil
@@ -94,9 +104,14 @@ func (m *Model) Forward(g *Compact, feats *tensor.Matrix) (*tensor.Matrix, []any
 // Backward propagates the loss gradient (w.r.t. seed logits) through the
 // stack, accumulating parameter gradients.
 func (m *Model) Backward(g *Compact, ctxs []any, gradLogits *tensor.Matrix) {
+	m.BackwardWS(nil, g, ctxs, gradLogits)
+}
+
+// BackwardWS is Backward drawing working tensors from ws (nil = fresh).
+func (m *Model) BackwardWS(ws *Workspace, g *Compact, ctxs []any, gradLogits *tensor.Matrix) {
 	grad := gradLogits
 	for l := len(m.Layers) - 1; l >= 0; l-- {
-		grad = m.Layers[l].BackwardLayer(g, ctxs[l], grad)
+		grad = m.Layers[l].BackwardLayer(ws, g, ctxs[l], grad)
 	}
 }
 
@@ -105,19 +120,35 @@ func (m *Model) Backward(g *Compact, ctxs []any, gradLogits *tensor.Matrix) {
 // caller decides when to step the optimizer (accumulating across k batches
 // then stepping models k synchronous data-parallel trainers exactly).
 func (m *Model) LossAndGrad(g *Compact, feats *tensor.Matrix, labels []int32) (float64, int, error) {
-	logits, ctxs, err := m.Forward(g, feats)
+	return m.LossAndGradWS(nil, g, feats, labels)
+}
+
+// LossAndGradWS is LossAndGrad running entirely inside ws: forward
+// activations, the logits gradient and every backward intermediate come
+// from the workspace, so a steady-state call allocates nothing. Results
+// are bit-identical to LossAndGrad — pooled buffers are zeroed on
+// hand-out and no float fold order moves. A nil ws allocates fresh.
+func (m *Model) LossAndGradWS(ws *Workspace, g *Compact, feats *tensor.Matrix, labels []int32) (float64, int, error) {
+	ws.reset()
+	logits, ctxs, err := m.ForwardWS(ws, g, feats)
 	if err != nil {
 		return 0, 0, err
 	}
-	gradLogits := tensor.New(logits.Rows, logits.Cols)
+	gradLogits := wsMatrix(ws, logits.Rows, logits.Cols)
 	loss, correct := tensor.SoftmaxCrossEntropy(logits, labels, gradLogits)
-	m.Backward(g, ctxs, gradLogits)
+	m.BackwardWS(ws, g, ctxs, gradLogits)
 	return loss, correct, nil
 }
 
 // Predict runs forward and returns the number of correct seed predictions.
 func (m *Model) Predict(g *Compact, feats *tensor.Matrix, labels []int32) (int, error) {
-	logits, _, err := m.Forward(g, feats)
+	return m.PredictWS(nil, g, feats, labels)
+}
+
+// PredictWS is Predict running inside ws (nil = fresh).
+func (m *Model) PredictWS(ws *Workspace, g *Compact, feats *tensor.Matrix, labels []int32) (int, error) {
+	ws.reset()
+	logits, _, err := m.ForwardWS(ws, g, feats)
 	if err != nil {
 		return 0, err
 	}
@@ -149,9 +180,15 @@ func GatherFeatures(s *sampling.Sample, features []float32, dim int) *tensor.Mat
 
 // SeedLabels gathers the labels of a sample's seeds.
 func SeedLabels(s *sampling.Sample, labels []int32) []int32 {
-	out := make([]int32, len(s.Seeds))
+	return SeedLabelsInto(nil, s, labels)
+}
+
+// SeedLabelsInto is SeedLabels writing into dst's backing array when its
+// capacity suffices (reallocating otherwise), for pooled callers.
+func SeedLabelsInto(dst []int32, s *sampling.Sample, labels []int32) []int32 {
+	dst = growInt32s(dst, len(s.Seeds))
 	for i, v := range s.Seeds {
-		out[i] = labels[v]
+		dst[i] = labels[v]
 	}
-	return out
+	return dst
 }

@@ -34,6 +34,24 @@ func FromData(rows, cols int, data []float32) *Matrix {
 	return &Matrix{Rows: rows, Cols: cols, Data: data}
 }
 
+// Reuse reshapes m to rows×cols, keeping the backing array when its
+// capacity suffices (contents are then stale — callers must overwrite or
+// zero) and reallocating otherwise. It reports whether the backing array
+// had to grow; a zero Matrix behaves like New minus the zeroing.
+func (m *Matrix) Reuse(rows, cols int) (grew bool) {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative dimension")
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float32, n)
+		grew = true
+	}
+	m.Data = m.Data[:n]
+	m.Rows, m.Cols = rows, cols
+	return grew
+}
+
 // Row returns row i as a slice aliasing the matrix.
 func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
@@ -133,11 +151,20 @@ func AddBiasRows(m *Matrix, bias []float32) {
 // ReLU applies max(0, x) in place and returns a mask of active elements
 // for the backward pass.
 func ReLU(m *Matrix) []bool {
-	mask := make([]bool, len(m.Data))
+	return ReLUMask(m, make([]bool, len(m.Data)))
+}
+
+// ReLUMask is ReLU writing into a caller-supplied mask (len(m.Data));
+// every mask element is overwritten, so a pooled, uncleared buffer works.
+func ReLUMask(m *Matrix, mask []bool) []bool {
+	if len(mask) != len(m.Data) {
+		panic("tensor: ReLU mask length mismatch")
+	}
 	for i, v := range m.Data {
 		if v > 0 {
 			mask[i] = true
 		} else {
+			mask[i] = false
 			m.Data[i] = 0
 		}
 	}

@@ -55,6 +55,12 @@ type Options struct {
 	// optimizer lanes) and training counters. Spans only observe: the
 	// trained model and history are identical with or without it.
 	Obs *obs.Recorder
+	// FreshBuffers disables the pooled per-trainer minibatch workspaces
+	// and allocates every buffer fresh — the pre-pooling behavior. The
+	// trained model and history are bit-identical either way
+	// (TestTrainPooledMatchesFresh); the flag exists for differential
+	// testing and as an escape hatch.
+	FreshBuffers bool
 	// Faults injects the plan's trainer-crash events into the live run:
 	// each crash event scheduled for epoch e aborts that epoch mid-way
 	// (discarding its partial updates) and restores the per-epoch
@@ -159,6 +165,17 @@ func Train(d *gen.Dataset, opts Options) (*Result, error) {
 	evalSet := holdout(d, opts.EvalSize, opts.Seed)
 	r := rng.New(opts.Seed)
 
+	// One pooled workspace per trainer (plus reuse for evaluation): the
+	// scratch buffers live for the whole run, so steady-state minibatches
+	// allocate nothing from the Sample handoff to the optimizer step.
+	var scratches []*minibatchScratch
+	if !opts.FreshBuffers {
+		scratches = make([]*minibatchScratch, opts.NumTrainers)
+		for i := range scratches {
+			scratches[i] = newMinibatchScratch()
+		}
+	}
+
 	res := &Result{Model: model}
 	crashes := crashFractions(opts.Faults)
 	reg := opts.Obs.Registry()
@@ -189,7 +206,7 @@ func Train(d *gen.Dataset, opts Options) (*Result, error) {
 			}
 			var stepCount int
 			var err error
-			epochLoss, stepCount, err = runEpochSteps(model, replicas, opt, store, d, stream, len(batches), opts, stopAfter)
+			epochLoss, stepCount, err = runEpochSteps(model, replicas, opt, store, d, stream, len(batches), opts, scratches, stopAfter)
 			if errors.Is(err, errInjectedCrash) {
 				stream.abandon()
 				if err := ck.restore(model, replicas, opt, r, store); err != nil {
@@ -210,7 +227,13 @@ func Train(d *gen.Dataset, opts Options) (*Result, error) {
 		}
 
 		var err error
-		acc, err = evaluate(model, d, store, alg, evalSet, opts)
+		var evalScratch *minibatchScratch
+		if len(scratches) > 0 {
+			// The round's workers are quiesced here, so evaluation can
+			// borrow trainer 0's scratch.
+			evalScratch = scratches[0]
+		}
+		acc, err = evaluate(model, d, store, alg, evalSet, opts, evalScratch)
 		if err != nil {
 			return nil, err
 		}
@@ -229,7 +252,47 @@ func Train(d *gen.Dataset, opts Options) (*Result, error) {
 			break
 		}
 	}
+	exportScratchStats(reg, scratches, store)
 	return res, nil
+}
+
+// minibatchScratch is one trainer's pooled buffers for the whole
+// Sample-to-step path: the reused Compact (generation-stamped renumber
+// table), the gather destination, the seed-label slice and the
+// activation/gradient workspace. A scratch serves one goroutine; Train
+// pools one per trainer and reuses trainer 0's for evaluation.
+type minibatchScratch struct {
+	compact nn.Compact
+	feats   tensor.Matrix
+	labels  []int32
+	ws      *nn.Workspace
+
+	// passes counts pooled minibatch passes; reuses the ones that grew no
+	// workspace backing array (the train.scratch_* counters).
+	passes, reuses int64
+}
+
+func newMinibatchScratch() *minibatchScratch {
+	return &minibatchScratch{ws: nn.NewWorkspace()}
+}
+
+// exportScratchStats publishes the pooled-buffer reuse counters —
+// train.scratch_samples/reuses/grows for the trainer workspaces (the
+// training analogue of measure.scratch_*) and feature.gather_reuse/
+// gather_grow for the Extract-stage destination buffers.
+func exportScratchStats(reg *obs.Registry, scratches []*minibatchScratch, store *feature.Store) {
+	var passes, reuses, grows int64
+	for _, sc := range scratches {
+		passes += sc.passes
+		reuses += sc.reuses
+		grows += sc.ws.Grows()
+	}
+	reg.Counter("train.scratch_samples").Add(passes)
+	reg.Counter("train.scratch_reuses").Add(reuses)
+	reg.Counter("train.scratch_grows").Add(grows)
+	gr, gg := store.GatherStats()
+	reg.Counter("feature.gather_reuse").Add(gr)
+	reg.Counter("feature.gather_grow").Add(gg)
 }
 
 // errInjectedCrash is the sentinel a fault plan's trainer crash raises
@@ -338,7 +401,7 @@ func (ck *checkpoint) restore(model *nn.Model, replicas []*nn.Model, opt *tensor
 // It returns the summed loss and the number of gradient updates.
 // stopAfterRounds >= 0 injects a trainer crash: that many rounds complete,
 // then the epoch aborts with errInjectedCrash (-1 never crashes).
-func runEpochSteps(model *nn.Model, replicas []*nn.Model, opt *tensor.Adam, store *feature.Store, d *gen.Dataset, stream *sampleStream, numBatches int, opts Options, stopAfterRounds int) (float64, int, error) {
+func runEpochSteps(model *nn.Model, replicas []*nn.Model, opt *tensor.Adam, store *feature.Store, d *gen.Dataset, stream *sampleStream, numBatches int, opts Options, scratches []*minibatchScratch, stopAfterRounds int) (float64, int, error) {
 	workers := append([]*nn.Model{model}, replicas...)
 	rec := opts.Obs
 	var trainerLanes []obs.Lane
@@ -356,6 +419,10 @@ func runEpochSteps(model *nn.Model, replicas []*nn.Model, opt *tensor.Adam, stor
 		stepLane = rec.Lane("Train", "optimizer")
 	}
 	var epochLoss float64
+	// Round result buffers, hoisted out of the per-round loop: every slot
+	// up to len(round) is overwritten each round before it is read.
+	losses := make([]float64, len(workers))
+	errs := make([]error, len(workers))
 	updates := 0
 	for start := 0; start < numBatches; start += len(workers) {
 		if updates == stopAfterRounds {
@@ -369,38 +436,70 @@ func runEpochSteps(model *nn.Model, replicas []*nn.Model, opt *tensor.Adam, stor
 		if err != nil {
 			return 0, 0, err
 		}
-		losses := make([]float64, len(round))
-		errs := make([]error, len(round))
 		var wg sync.WaitGroup
 		for i, s := range round {
 			wg.Add(1)
-			go func(i int, s *sampling.Sample, m *nn.Model) {
+			var sc *minibatchScratch
+			if scratches != nil {
+				sc = scratches[i]
+			}
+			go func(i int, s *sampling.Sample, m *nn.Model, sc *minibatchScratch) {
 				defer wg.Done()
 				var sp *obs.Span
 				if trainerLanes != nil {
 					sp = trainerLanes[i].Start("minibatch")
 				}
-				g, err := nn.NewCompact(s)
-				if err != nil {
-					errs[i] = err
-					return
+				var g *nn.Compact
+				if sc != nil {
+					if errs[i] = nn.NewCompactInto(&sc.compact, s); errs[i] != nil {
+						return
+					}
+					g = &sc.compact
+				} else {
+					var err error
+					if g, err = nn.NewCompact(s); err != nil {
+						errs[i] = err
+						return
+					}
 				}
 				gsp := sp.Child("gather")
-				feats, hits, misses := store.Gather(s)
+				var feats *tensor.Matrix
+				var hits, misses int
+				if sc != nil {
+					hits, misses = store.GatherInto(&sc.feats, s)
+					feats = &sc.feats
+				} else {
+					feats, hits, misses = store.Gather(s)
+				}
 				if gsp != nil {
 					gsp.End(obs.Attr{Key: "hits", Value: hits}, obs.Attr{Key: "misses", Value: misses})
 				}
 				cHits.Add(int64(hits))
 				cMisses.Add(int64(misses))
-				labels := nn.SeedLabels(s, d.Labels)
+				var labels []int32
+				if sc != nil {
+					sc.labels = nn.SeedLabelsInto(sc.labels, s, d.Labels)
+					labels = sc.labels
+				} else {
+					labels = nn.SeedLabels(s, d.Labels)
+				}
 				fbsp := sp.Child("forward+backward")
-				losses[i], _, errs[i] = m.LossAndGrad(g, feats, labels)
+				if sc != nil {
+					prevGrows := sc.ws.Grows()
+					losses[i], _, errs[i] = m.LossAndGradWS(sc.ws, g, feats, labels)
+					sc.passes++
+					if sc.ws.Grows() == prevGrows {
+						sc.reuses++
+					}
+				} else {
+					losses[i], _, errs[i] = m.LossAndGrad(g, feats, labels)
+				}
 				fbsp.End()
 				if sp != nil {
 					sp.End(obs.Attr{Key: "batch", Value: start + i})
 				}
 				cBatches.Add(1)
-			}(i, s, workers[i])
+			}(i, s, workers[i], sc)
 		}
 		wg.Wait()
 		for i := range round {
@@ -479,6 +578,9 @@ type sampleStream struct {
 	done    *queue.Queue[indexedSample]
 	pending map[int]*sampling.Sample
 	cancel  func()
+
+	// buf backs take's returned slice, reused across rounds.
+	buf []*sampling.Sample
 }
 
 // abandon stops a live stream mid-epoch (injected crash recovery): the
@@ -497,9 +599,14 @@ type indexedSample struct {
 	err error
 }
 
-// take returns the next k samples in batch order.
+// take returns the next k samples in batch order. The returned slice is
+// the stream's own round buffer, valid until the next take.
 func (st *sampleStream) take(k int) ([]*sampling.Sample, error) {
-	out := make([]*sampling.Sample, 0, k)
+	if cap(st.buf) < k {
+		st.buf = make([]*sampling.Sample, 0, k)
+	}
+	out := st.buf[:0]
+	defer func() { st.buf = out }()
 	for len(out) < k {
 		if st.inline != nil {
 			if st.next >= len(st.inline) {
@@ -615,31 +722,58 @@ func averageGrads(params []*tensor.Param, k int) {
 	}
 }
 
-// holdout picks EvalSize vertices outside the training set.
-func holdout(d *gen.Dataset, size int, seed uint64) []int32 {
-	inTrain := make(map[int32]bool, len(d.TrainSet))
-	for _, v := range d.TrainSet {
-		inTrain[v] = true
+// trainSetBitmaps caches each dataset's training-set membership bitmap,
+// built once per dataset instead of rebuilding a hash map on every
+// holdout call (repeated Train runs over the same dataset are the norm in
+// experiment sweeps). Keyed by dataset pointer; the handful of live
+// datasets makes the retained memory negligible.
+var trainSetBitmaps sync.Map // *gen.Dataset → []bool
+
+// trainSetBitmap returns (building on first use) d's membership bitmap:
+// bitmap[v] reports whether v is in d.TrainSet.
+func trainSetBitmap(d *gen.Dataset) []bool {
+	if v, ok := trainSetBitmaps.Load(d); ok {
+		return v.([]bool)
 	}
+	bm := make([]bool, d.NumVertices())
+	for _, v := range d.TrainSet {
+		bm[v] = true
+	}
+	actual, _ := trainSetBitmaps.LoadOrStore(d, bm)
+	return actual.([]bool)
+}
+
+// holdout picks EvalSize vertices outside the training set. The draw
+// sequence is unchanged from the map-based version, so holdout sets are
+// stable across the bitmap conversion.
+func holdout(d *gen.Dataset, size int, seed uint64) []int32 {
+	inTrain := trainSetBitmap(d)
 	r := rng.New(seed ^ 0xE7A1)
 	out := make([]int32, 0, size)
-	seen := make(map[int32]bool, size)
 	n := d.NumVertices()
-	for len(out) < size && len(seen) < n {
+	seen := make([]bool, n)
+	distinct := 0
+	for len(out) < size && distinct < n {
 		v := int32(r.Intn(n))
 		if inTrain[v] || seen[v] {
-			seen[v] = true
+			if !seen[v] {
+				seen[v] = true
+				distinct++
+			}
 			continue
 		}
 		seen[v] = true
+		distinct++
 		out = append(out, v)
 	}
 	return out
 }
 
 // evaluate samples the eval set once (fixed seed, so the eval graph view is
-// stable across epochs) and returns accuracy.
-func evaluate(model *nn.Model, d *gen.Dataset, store *feature.Store, alg sampling.Algorithm, evalSet []int32, opts Options) (float64, error) {
+// stable across epochs) and returns accuracy. A non-nil scratch runs the
+// whole gather+predict path in pooled buffers (sc must not be in use by a
+// trainer goroutine); nil allocates fresh.
+func evaluate(model *nn.Model, d *gen.Dataset, store *feature.Store, alg sampling.Algorithm, evalSet []int32, opts Options, sc *minibatchScratch) (float64, error) {
 	if len(evalSet) == 0 {
 		return 0, nil
 	}
@@ -652,18 +786,33 @@ func evaluate(model *nn.Model, d *gen.Dataset, store *feature.Store, alg samplin
 			end = len(evalSet)
 		}
 		s := a.Sample(d.Graph, evalSet[start:end], er)
-		g, err := nn.NewCompact(s)
-		if err != nil {
-			return 0, err
-		}
-		feats, _, _ := store.Gather(s)
-		labels := nn.SeedLabels(s, d.Labels)
-		c, err := model.Predict(g, feats, labels)
-		if err != nil {
-			return 0, err
+		var c int
+		if sc != nil {
+			if err := nn.NewCompactInto(&sc.compact, s); err != nil {
+				return 0, err
+			}
+			store.GatherInto(&sc.feats, s)
+			sc.labels = nn.SeedLabelsInto(sc.labels, s, d.Labels)
+			var err error
+			c, err = model.PredictWS(sc.ws, &sc.compact, &sc.feats, sc.labels)
+			if err != nil {
+				return 0, err
+			}
+			total += len(sc.labels)
+		} else {
+			g, err := nn.NewCompact(s)
+			if err != nil {
+				return 0, err
+			}
+			feats, _, _ := store.Gather(s)
+			labels := nn.SeedLabels(s, d.Labels)
+			c, err = model.Predict(g, feats, labels)
+			if err != nil {
+				return 0, err
+			}
+			total += len(labels)
 		}
 		correct += c
-		total += len(labels)
 	}
 	return float64(correct) / float64(total), nil
 }

@@ -17,6 +17,14 @@ go test -short -race -timeout 3600s -run xxx -bench=BenchmarkTable1Breakdown -be
 # and running without paying full benchmark time.
 go test -timeout 3600s -run xxx -bench='BenchmarkSample$' -benchtime=1x ./internal/sampling
 go test -timeout 3600s -run xxx -bench=BenchmarkCacheRank -benchtime=1x ./internal/cache
+# Pooled training-path gate: the zero-alloc pin and the pooled-vs-fresh
+# differential (bit-identical histories, checkpoints and hit rates across
+# data-parallel widths), plus the concurrent pooled trainers under race
+# (covered again by the full -race suite above; -count=1 defeats caching),
+# and a one-iteration smoke of the end-to-end minibatch benchmark that
+# also regenerates BENCH_train.json.
+go test -timeout 3600s -count=1 -run 'TestMinibatchSteadyStateZeroAllocs|TestTrainPooledMatchesFresh' ./internal/train
+go test -timeout 3600s -run xxx -bench=BenchmarkMinibatch -benchtime=1x .
 # Fault-injection determinism suite: empty plans are bit-identical no-ops,
 # seeded plans reproduce across worker counts, and an injected crash
 # recovers live training to the exact uninterrupted loss history.
