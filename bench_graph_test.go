@@ -1,0 +1,192 @@
+package gnnlab
+
+// BenchmarkSnapshotOverhead and BenchmarkApplyDelta measure the
+// dynamic-graph layer and land in BENCH_graph.json (the two benchmarks
+// merge their sections into the same file):
+//
+//   - SnapshotOverhead: the cost of taking a Delta snapshot (O(touched
+//     rows), not O(|V|)), of compacting back to CSR, and the per-call
+//     sampling overhead of reading through the overlay view versus the
+//     flat CSR — the price of snapshot isolation on the hot path.
+//   - ApplyDelta: incremental hotness maintenance. Decay+ApplyDelta per
+//     round is measured at a fixed |Δ| across growing |V| (flat ⇒ the
+//     update is O(|Δ|), independent of graph size) and at growing |Δ|
+//     for a fixed |V| (linear in |Δ|), against the O(|V|) introselect
+//     re-rank it feeds.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"gnnlab/internal/cache"
+	"gnnlab/internal/graph"
+	"gnnlab/internal/rng"
+	"gnnlab/internal/sampling"
+)
+
+// writeBenchGraphSection merges one benchmark's section into
+// BENCH_graph.json, preserving sections written by the other benchmark.
+func writeBenchGraphSection(b *testing.B, key string, val any) {
+	b.Helper()
+	const path = "BENCH_graph.json"
+	doc := map[string]any{}
+	if raw, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(raw, &doc)
+	}
+	doc[key] = val
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkSnapshotOverhead(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping graph benchmark in -short mode")
+	}
+	g := sampleBenchGraph(b)
+	n0 := g.NumVertices()
+	r := rng.New(41)
+
+	// A realistic round of drift: 1k new vertices and 20k overlay edges
+	// spread over random rows.
+	const newVerts, deltaEdges = 1_000, 20_000
+	d := graph.NewDelta(g, false)
+	first := d.AddVertices(newVerts)
+	for i := 0; i < newVerts; i++ {
+		d.AddEdge(first+int32(i), int32(r.Intn(n0)), 1)
+	}
+	for i := 0; i < deltaEdges-newVerts; i++ {
+		d.AddEdge(int32(r.Intn(n0)), int32(r.Intn(n0)), float32(r.Float64())+0.01)
+	}
+	snap := d.Snapshot()
+
+	snapS, snapBytes, _ := measureCalls(50, func() { d.Snapshot() })
+	compactS, _, _ := measureCalls(3, func() { d.Compact() })
+
+	// Hot-path overhead: pooled k-hop sampling through the overlay view
+	// versus the flat CSR, bit-identical streams (view_test.go).
+	alg := sampling.ClonePooled(sampling.NewKHop([]int{10, 5, 5}, sampling.FisherYates))
+	sd := sampleBenchSeeds(256, n0, rng.New(23))
+	const calls = 300
+	runSample := func(v graph.View) float64 {
+		rr := rng.New(31)
+		for i := 0; i < 20; i++ {
+			alg.Sample(v, sd, rr)
+		}
+		s, _, _ := measureCalls(calls, func() { alg.Sample(v, sd, rr) })
+		return s
+	}
+	csrS := runSample(g)
+	overlayS := runSample(snap)
+
+	b.ReportMetric(overlayS/csrS, "overlay-slowdown")
+	writeBenchGraphSection(b, "snapshot_overhead", map[string]any{
+		"benchmark":            "BenchmarkSnapshotOverhead",
+		"base_vertices":        n0,
+		"base_edges":           g.NumEdges(),
+		"delta_edges":          d.AddedEdges(),
+		"delta_new_vertices":   newVerts,
+		"cores":                runtime.NumCPU(),
+		"snapshot_us":          snapS * 1e6,
+		"snapshot_alloc_bytes": snapBytes,
+		"compact_ms":           compactS * 1e3,
+		"sample_csr_us":        csrS * 1e6,
+		"sample_overlay_us":    overlayS * 1e6,
+		"overlay_slowdown":     overlayS / csrS,
+	})
+}
+
+func BenchmarkApplyDelta(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping graph benchmark in -short mode")
+	}
+	r := rng.New(53)
+	mkVisits := func(size, n int) []cache.DeltaVisit {
+		dvs := make([]cache.DeltaVisit, size)
+		for i := range dvs {
+			dvs[i] = cache.DeltaVisit{Vertex: int32(r.Intn(n)), Count: r.Float64()}
+		}
+		return dvs
+	}
+	round := func(h *cache.Hotness, dvs []cache.DeltaVisit) func() {
+		return func() {
+			h.Decay(0.95)
+			h.ApplyDelta(dvs)
+		}
+	}
+
+	// Fixed |Δ| across growing |V|: flat timings here are the O(|Δ|)
+	// evidence — the per-round update cost does not track graph size.
+	const fixedDelta = 10_000
+	type scaleRow struct {
+		Vertices   int     `json:"vertices"`
+		DeltaSize  int     `json:"delta_size"`
+		RoundNsOp  float64 `json:"round_ns_op"`
+		SweepNsOp  float64 `json:"eager_sweep_ns_op,omitempty"`
+		RankTopMs  float64 `json:"rank_top_ms,omitempty"`
+		NsPerVisit float64 `json:"ns_per_visit"`
+	}
+	var byV []scaleRow
+	for _, n := range []int{100_000, 400_000, 1_600_000} {
+		h := cache.NewHotness(make([]float64, n))
+		dvs := mkVisits(fixedDelta, n)
+		fn := round(&h, dvs)
+		for i := 0; i < 10; i++ {
+			fn()
+		}
+		s, _, _ := measureCalls(200, fn)
+		// The eager alternative: decay by sweeping every score — O(|V|)
+		// per round, what the lazy inflation factor avoids.
+		sweep, _, _ := measureCalls(50, func() {
+			for v := range h.Score {
+				h.Score[v] *= 0.95
+			}
+			h.ApplyDelta(dvs)
+		})
+		h.RankTop(n / 10) // warm
+		rankS, _, _ := measureCalls(5, func() { h.RankTop(n / 10) })
+		byV = append(byV, scaleRow{
+			Vertices:   n,
+			DeltaSize:  fixedDelta,
+			RoundNsOp:  s * 1e9,
+			SweepNsOp:  sweep * 1e9,
+			RankTopMs:  rankS * 1e3,
+			NsPerVisit: s * 1e9 / fixedDelta,
+		})
+	}
+	b.ReportMetric(byV[len(byV)-1].RoundNsOp/byV[0].RoundNsOp, "16x-vertices-cost-ratio")
+
+	// Growing |Δ| at fixed |V|: cost should scale ~linearly with |Δ|.
+	const fixedN = 400_000
+	var byDelta []scaleRow
+	for _, size := range []int{1_000, 10_000, 100_000} {
+		h := cache.NewHotness(make([]float64, fixedN))
+		dvs := mkVisits(size, fixedN)
+		fn := round(&h, dvs)
+		for i := 0; i < 10; i++ {
+			fn()
+		}
+		s, _, _ := measureCalls(100, fn)
+		byDelta = append(byDelta, scaleRow{
+			Vertices:   fixedN,
+			DeltaSize:  size,
+			RoundNsOp:  s * 1e9,
+			NsPerVisit: s * 1e9 / float64(size),
+		})
+	}
+
+	writeBenchGraphSection(b, "apply_delta", map[string]any{
+		"benchmark":          "BenchmarkApplyDelta",
+		"cores":              runtime.NumCPU(),
+		"fixed_delta_by_v":   byV,
+		"fixed_v_by_delta":   byDelta,
+		"flatness_16x_ratio": byV[len(byV)-1].RoundNsOp / byV[0].RoundNsOp,
+		"note":               "round = Decay(0.95)+ApplyDelta; round_ns_op stays near-flat across 16x vertices (residual growth is cache misses on the scatter) while eager_sweep_ns_op grows with |V|; rank_top_ms is the O(|V|) introselect it feeds",
+	})
+}

@@ -155,3 +155,7 @@ func BenchmarkAblationBatchSize(b *testing.B) { runExperimentBench(b, "ablation-
 
 // §8 discussion: training-set size widens GNNLab's advantage.
 func BenchmarkAblationTrainSet(b *testing.B) { runExperimentBench(b, "ablation-trainset") }
+
+// Beyond the paper: cache policies under graph drift at two re-rank
+// cadences (DESIGN.md "Dynamic graphs").
+func BenchmarkDrift(b *testing.B) { runExperimentBench(b, "drift") }

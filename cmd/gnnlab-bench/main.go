@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	gnnlab-bench [-scale N] [-gpus N] [-epochs N] [-workers N] [-faults N]
+//	gnnlab-bench [-scale N] [-gpus N] [-epochs N] [-workers N] [-faults N] [-drift N]
 //	             [-format table|csv] [-list]
 //	             [-trace out.json] [-metrics] [-pprof addr] [experiment ...]
 //
@@ -32,6 +32,7 @@ func main() {
 	seed := flag.Uint64("seed", 0, "experiment seed (0 = default)")
 	workers := flag.Int("workers", 0, "measurement worker pool size (0 = NumCPU, 1 = serial; results are identical at any setting)")
 	faults := flag.Int("faults", 0, "cap for the resilience experiment's injected-fault sweep (0 = default sweep)")
+	drift := flag.Int("drift", 0, "mutation rounds for the dynamic-graph drift experiment (0 = default sweep)")
 	noStore := flag.Bool("nostore", false, "disable the shared measurement store (every cell re-measures; results are identical either way)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	format := flag.String("format", "table", "output format: table or csv")
@@ -51,7 +52,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Scale: *scale, NumGPUs: *gpus, Epochs: *epochs, Seed: *seed, Workers: *workers, Faults: *faults}
+	opts := experiments.Options{Scale: *scale, NumGPUs: *gpus, Epochs: *epochs, Seed: *seed, Workers: *workers, Faults: *faults, Drift: *drift}
 	if *tracePath != "" || *metrics || *pprofAddr != "" {
 		opts.Obs = obs.NewRecorder()
 	}

@@ -38,7 +38,7 @@ func newHubAware(fanout int) *hubAware {
 func (h *hubAware) Name() string { return fmt.Sprintf("hub-aware(%d)", h.fanout) }
 func (h *hubAware) NumHops() int { return 2 }
 
-func (h *hubAware) Sample(g *gnnlab.Graph, seeds []int32, r *gnnlab.Rand) *gnnlab.Sample {
+func (h *hubAware) Sample(g gnnlab.GraphView, seeds []int32, r *gnnlab.Rand) *gnnlab.Sample {
 	s := h.inner.Sample(g, seeds, r)
 	// Keep only the top-degree third of each hop-2 target's picks.
 	l := &s.Layers[1]

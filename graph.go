@@ -7,8 +7,27 @@ import (
 	"gnnlab/internal/graph"
 )
 
-// Graph is the immutable CSR graph store every subsystem operates on.
+// Graph is the immutable CSR graph store — the base implementation of
+// GraphView that every subsystem operates on.
 type Graph = graph.CSR
+
+// GraphView is the read-only graph interface samplers and cache policies
+// consume: a base *Graph, or a *GraphSnapshot published by a GraphDelta.
+type GraphView = graph.View
+
+// GraphDelta is an append-only edge/vertex overlay over a base Graph for
+// dynamic-graph workloads. Snapshot() publishes the current state as an
+// immutable GraphView with snapshot isolation; Compact() merges the
+// overlay into a fresh base Graph.
+type GraphDelta = graph.Delta
+
+// GraphSnapshot is the immutable view a GraphDelta publishes.
+type GraphSnapshot = graph.Snapshot
+
+// NewGraphDelta returns an empty overlay over base. With dedup, duplicate
+// (src,dst) edges are dropped (first weight wins), matching
+// GraphBuilder.Build(dedup=true).
+func NewGraphDelta(base *Graph, dedup bool) *GraphDelta { return graph.NewDelta(base, dedup) }
 
 // GraphBuilder accumulates edges and produces a Graph.
 type GraphBuilder = graph.Builder

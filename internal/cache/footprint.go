@@ -30,7 +30,7 @@ type Footprint struct {
 // footprint exactly (the Optimal oracle's contract, §3 footnote 4). Runs
 // on the parallel measurement engine with GOMAXPROCS workers; use
 // CollectFootprintN to pin the worker count.
-func CollectFootprint(g *graph.CSR, alg sampling.Algorithm, trainSet []int32, batchSize, epochs int, seed uint64) *Footprint {
+func CollectFootprint(g graph.View, alg sampling.Algorithm, trainSet []int32, batchSize, epochs int, seed uint64) *Footprint {
 	return CollectFootprintN(g, alg, trainSet, batchSize, epochs, seed, 0)
 }
 
@@ -38,7 +38,7 @@ func CollectFootprint(g *graph.CSR, alg sampling.Algorithm, trainSet []int32, ba
 // (0 = GOMAXPROCS, 1 = serial). Per-worker footprints are merged at the
 // end; all absorbed quantities are commutative sums, so the result is
 // bit-identical at any worker count.
-func CollectFootprintN(g *graph.CSR, alg sampling.Algorithm, trainSet []int32, batchSize, epochs int, seed uint64, workers int) *Footprint {
+func CollectFootprintN(g graph.View, alg sampling.Algorithm, trainSet []int32, batchSize, epochs int, seed uint64, workers int) *Footprint {
 	n := g.NumVertices()
 	accs := replaySampling(g, alg, trainSet, batchSize, epochs, seed, workers,
 		func() *Footprint {
@@ -129,13 +129,13 @@ type EpochFootprint struct {
 // visit counts separately. It uses the same (epoch, batch) RNG keying and
 // worker pool as CollectFootprint, with per-worker per-epoch accumulators
 // merged at the end.
-func CollectEpochFootprints(g *graph.CSR, alg sampling.Algorithm, trainSet []int32, batchSize, epochs int, seed uint64) []EpochFootprint {
+func CollectEpochFootprints(g graph.View, alg sampling.Algorithm, trainSet []int32, batchSize, epochs int, seed uint64) []EpochFootprint {
 	return CollectEpochFootprintsN(g, alg, trainSet, batchSize, epochs, seed, 0)
 }
 
 // CollectEpochFootprintsN is CollectEpochFootprints with an explicit
 // worker-pool size (0 = GOMAXPROCS, 1 = serial).
-func CollectEpochFootprintsN(g *graph.CSR, alg sampling.Algorithm, trainSet []int32, batchSize, epochs int, seed uint64, workers int) []EpochFootprint {
+func CollectEpochFootprintsN(g graph.View, alg sampling.Algorithm, trainSet []int32, batchSize, epochs int, seed uint64, workers int) []EpochFootprint {
 	n := g.NumVertices()
 	accs := replaySampling(g, alg, trainSet, batchSize, epochs, seed, workers,
 		func() [][]int64 { return make([][]int64, epochs) },

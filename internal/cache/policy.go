@@ -46,8 +46,19 @@ func (p PolicyKind) String() string {
 }
 
 // Hotness holds the per-vertex hotness metric h_v (§6.1). Higher is hotter.
+//
+// For dynamic graphs the metric is maintained incrementally: Decay and
+// ApplyDelta implement exponentially-decayed visit counting in O(1)+O(|Δ|)
+// per round via a lazy inflation factor (decaying every score would be
+// O(|V|)). Because inflation scales all scores uniformly, the raw Score
+// ordering equals the decayed ordering, so Rank/RankTop read Score
+// directly and stay unchanged.
 type Hotness struct {
 	Score []float64
+	// inflate is the lazy-decay scale: new contributions are multiplied by
+	// it instead of decaying every existing score. Zero means 1
+	// (uninitialized struct literals keep their static semantics).
+	inflate float64
 }
 
 // NewHotness wraps a score vector.
@@ -87,8 +98,68 @@ func (h Hotness) RankTop(k int) []int32 {
 	return ids[:k:k]
 }
 
+// DeltaVisit is one vertex's fresh hotness contribution from a batch of
+// changes — new sampled visits in the delta region for PreSC-style
+// maintenance, or new out-edges for degree-style maintenance.
+type DeltaVisit struct {
+	Vertex int32
+	Count  float64
+}
+
+// scaleCap bounds the lazy inflation factor; past it every score is
+// renormalized (uniform division, order-preserving) to keep the arithmetic
+// far from float64 overflow.
+const scaleCap = 1e100
+
+// Decay multiplies every effective score by factor (0 < factor <= 1) in
+// O(1): instead of sweeping the vector, future contributions are inflated
+// by 1/factor. Renormalization runs only when the accumulated inflation
+// nears the float range — amortized O(1) per round.
+func (h *Hotness) Decay(factor float64) {
+	if factor <= 0 || factor > 1 {
+		panic(fmt.Sprintf("cache: Decay factor %v outside (0,1]", factor))
+	}
+	if h.inflate == 0 {
+		h.inflate = 1
+	}
+	h.inflate /= factor
+	if h.inflate > scaleCap {
+		inv := 1 / h.inflate
+		for v := range h.Score {
+			h.Score[v] *= inv
+		}
+		h.inflate = 1
+	}
+}
+
+// ApplyDelta folds a batch of fresh visits into the decayed metric in
+// O(|Δ|): each count is scaled by the current inflation so it outweighs
+// older, decayed contributions. This is the incremental alternative to a
+// full PreSC re-run after graph drift — the resulting Score vector feeds
+// the same introselect RankTop.
+func (h *Hotness) ApplyDelta(visits []DeltaVisit) {
+	scale := h.inflate
+	if scale == 0 {
+		scale = 1
+	}
+	for _, dv := range visits {
+		h.Score[dv.Vertex] += dv.Count * scale
+	}
+}
+
+// Grow extends the score vector to n vertices (new vertices start cold at
+// score 0), matching Delta.AddVertices growth.
+func (h *Hotness) Grow(n int) {
+	if n <= len(h.Score) {
+		return
+	}
+	grown := make([]float64, n)
+	copy(grown, h.Score)
+	h.Score = grown
+}
+
 // DegreeHotness returns h_v = out-degree(v), the PaGraph metric.
-func DegreeHotness(g *graph.CSR) Hotness {
+func DegreeHotness(g graph.View) Hotness {
 	n := g.NumVertices()
 	score := make([]float64, n)
 	for v := 0; v < n; v++ {

@@ -25,7 +25,7 @@ type PreSCResult struct {
 // the same shuffled mini-batch structure as training so the footprint is
 // representative. Pre-sampling runs on the parallel measurement engine
 // with GOMAXPROCS workers; use PreSCN to pin the worker count.
-func PreSC(g *graph.CSR, alg sampling.Algorithm, trainSet []int32, batchSize, k int, seed uint64) PreSCResult {
+func PreSC(g graph.View, alg sampling.Algorithm, trainSet []int32, batchSize, k int, seed uint64) PreSCResult {
 	return PreSCN(g, alg, trainSet, batchSize, k, seed, 0)
 }
 
@@ -41,7 +41,7 @@ type prescAcc struct {
 // since visit counts are commutative integer sums and each (epoch, batch)
 // cell has its own RNG stream, the result is bit-identical at any worker
 // count.
-func PreSCN(g *graph.CSR, alg sampling.Algorithm, trainSet []int32, batchSize, k int, seed uint64, workers int) PreSCResult {
+func PreSCN(g graph.View, alg sampling.Algorithm, trainSet []int32, batchSize, k int, seed uint64, workers int) PreSCResult {
 	if k <= 0 {
 		panic("cache: PreSC with non-positive K")
 	}

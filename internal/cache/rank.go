@@ -1,83 +1,24 @@
 package cache
 
 import (
-	"math/bits"
-	"sort"
+	"gnnlab/internal/graph"
 )
 
 // Cache rankings only ever need their first `slots` entries (load_cache
 // fills exactly that prefix), but the hotness vector covers every vertex —
 // a full sort is O(|V| log |V|) on arrays of many millions. selectTop is
-// the O(|V|) expected replacement: a deterministic quickselect partitions
-// the k hottest entries to the front, then only that prefix is sorted.
+// the O(|V|) expected replacement; the deterministic introselect itself
+// lives in the graph package (graph.SelectTop) so CSR.DegreeRankTop can
+// share it without an import cycle, and this wrapper keeps the cache
+// layer's historical entry point.
 //
 // Determinism: the comparator is a total order (every caller breaks ties
 // by ascending vertex ID), so the k-prefix — and its sorted order — is the
 // unique top-k regardless of partition pivots. Results are bit-identical
-// to sorting everything and truncating. An introsort-style depth cutoff
-// bounds the adversarial case at O(|V| log |V|); random pivots are avoided
-// deliberately, the routine draws no randomness at all.
+// to sorting everything and truncating.
 
 // selectTop partially sorts ids so that ids[:k] holds the least k elements
 // under less, in sorted order. less must be a strict total order.
 func selectTop(ids []int32, k int, less func(a, b int32) bool) {
-	if k <= 0 {
-		return
-	}
-	if k >= len(ids) {
-		sort.Slice(ids, func(a, b int) bool { return less(ids[a], ids[b]) })
-		return
-	}
-	lo, hi := 0, len(ids)
-	// Depth budget before falling back to sorting the remaining window:
-	// quickselect halves the window in expectation each round.
-	budget := 2 * bits.Len(uint(len(ids)))
-	for lo < hi {
-		if hi-lo <= 32 || budget == 0 {
-			// Small window (or pathological pivots): sorting it settles
-			// every remaining boundary position at once.
-			w := ids[lo:hi]
-			sort.Slice(w, func(a, b int) bool { return less(w[a], w[b]) })
-			break
-		}
-		budget--
-		p := partition(ids, lo, hi, less)
-		if p == k-1 {
-			break
-		}
-		if p < k-1 {
-			lo = p + 1
-		} else {
-			hi = p
-		}
-	}
-	prefix := ids[:k]
-	sort.Slice(prefix, func(a, b int) bool { return less(prefix[a], prefix[b]) })
-}
-
-// partition is a Lomuto partition of ids[lo:hi] around a median-of-three
-// pivot; it returns the pivot's final index.
-func partition(ids []int32, lo, hi int, less func(a, b int32) bool) int {
-	mid := lo + (hi-lo)/2
-	last := hi - 1
-	// Median of first/middle/last lands at `last` to serve as the pivot.
-	if less(ids[mid], ids[lo]) {
-		ids[mid], ids[lo] = ids[lo], ids[mid]
-	}
-	if less(ids[last], ids[lo]) {
-		ids[last], ids[lo] = ids[lo], ids[last]
-	}
-	if less(ids[mid], ids[last]) {
-		ids[mid], ids[last] = ids[last], ids[mid]
-	}
-	pivot := ids[last]
-	store := lo
-	for i := lo; i < last; i++ {
-		if less(ids[i], pivot) {
-			ids[i], ids[store] = ids[store], ids[i]
-			store++
-		}
-	}
-	ids[store], ids[last] = ids[last], ids[store]
-	return store
+	graph.SelectTop(ids, k, less)
 }

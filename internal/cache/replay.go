@@ -22,7 +22,7 @@ func planReplay(trainSet []int32, batchSize, epochs int, seed uint64) []sampling
 // when every absorbed quantity is commutative (counts, sums), the merged
 // result is bit-identical at any worker count.
 func replaySampling[T any](
-	g *graph.CSR, alg sampling.Algorithm, trainSet []int32,
+	g graph.View, alg sampling.Algorithm, trainSet []int32,
 	batchSize, epochs int, seed uint64, workers int,
 	newAcc func() T, absorb func(acc T, epoch int, s *sampling.Sample),
 ) []T {

@@ -54,6 +54,9 @@ type Options struct {
 	// its rows double from 1 fault up to this count (0 = the default
 	// sweep). Other experiments ignore it.
 	Faults int
+	// Drift sets the number of mutation rounds for the dynamic-graph drift
+	// experiment (0 = the default sweep). Other experiments ignore it.
+	Drift int
 }
 
 func (o Options) withDefaults() Options {
@@ -250,6 +253,7 @@ func Registry() []struct {
 		{"ablation-batchsize", AblationBatchSize},
 		{"ablation-trainset", AblationTrainSet},
 		{"resilience", Resilience},
+		{"drift", Drift},
 	}
 }
 

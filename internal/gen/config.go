@@ -109,9 +109,13 @@ func (c Config) Validate() error {
 // values are only materialized when Config.MaterializeFeatures was set;
 // otherwise Features is nil and only FeatureDim/FeatureBytes matter.
 type Dataset struct {
-	Name       string
-	Kind       Kind
-	Graph      *graph.CSR
+	Name string
+	Kind Kind
+	// Graph is the dataset's topology: a base *graph.CSR for generated or
+	// loaded datasets, or a *graph.Snapshot when a dynamic workload swaps
+	// in a delta view. Use CSR() when concrete CSR storage is required
+	// (serialization).
+	Graph      graph.View
 	FeatureDim int
 	// Features is row-major [NumVertices*FeatureDim], or nil.
 	Features []float32
@@ -120,6 +124,13 @@ type Dataset struct {
 	NumClasses int
 	// TrainSet lists training vertex IDs in ascending order.
 	TrainSet []int32
+}
+
+// CSR returns the graph as concrete CSR storage, or nil when the dataset
+// carries a non-CSR view (e.g. a delta snapshot).
+func (d *Dataset) CSR() *graph.CSR {
+	c, _ := d.Graph.(*graph.CSR)
+	return c
 }
 
 // NumVertices returns the vertex count.

@@ -29,7 +29,7 @@ func TestGenerateAllKindsValid(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
-		if err := d.Graph.Validate(); err != nil {
+		if err := d.CSR().Validate(); err != nil {
 			t.Errorf("%v: invalid graph: %v", kind, err)
 		}
 		if d.NumVertices() != 2000 {
@@ -56,8 +56,8 @@ func TestGenerateDeterministic(t *testing.T) {
 	if a.Graph.NumEdges() != b.Graph.NumEdges() {
 		t.Fatalf("edge counts differ: %d vs %d", a.Graph.NumEdges(), b.Graph.NumEdges())
 	}
-	for i := range a.Graph.ColIdx {
-		if a.Graph.ColIdx[i] != b.Graph.ColIdx[i] {
+	for i := range a.CSR().ColIdx {
+		if a.CSR().ColIdx[i] != b.CSR().ColIdx[i] {
 			t.Fatalf("edge %d differs", i)
 		}
 	}
@@ -74,8 +74,8 @@ func TestSeedsChangeOutput(t *testing.T) {
 	cfg.Seed = 78
 	b, _ := Generate(cfg)
 	same := 0
-	for i := 0; i < 1000 && i < len(a.Graph.ColIdx) && i < len(b.Graph.ColIdx); i++ {
-		if a.Graph.ColIdx[i] == b.Graph.ColIdx[i] {
+	for i := 0; i < 1000 && i < len(a.CSR().ColIdx) && i < len(b.CSR().ColIdx); i++ {
+		if a.CSR().ColIdx[i] == b.CSR().ColIdx[i] {
 			same++
 		}
 	}
@@ -184,7 +184,7 @@ func TestDegreeShapes(t *testing.T) {
 
 // degreeRankOverlap returns the fraction of top-5% in-degree vertices that
 // are also top-5% out-degree vertices.
-func degreeRankOverlap(g *graph.CSR) float64 {
+func degreeRankOverlap(g graph.View) float64 {
 	n := g.NumVertices()
 	k := n / 20
 	topIn := topK(g.InDegrees(), k)
@@ -226,7 +226,7 @@ func TestWeightsRecency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := d.Graph
+	g := d.CSR()
 	if !g.Weighted() {
 		t.Fatal("weighted config produced unweighted graph")
 	}

@@ -48,7 +48,11 @@ func WriteDataset(w io.Writer, d *Dataset) error {
 	if err := bw.Flush(); err != nil {
 		return err
 	}
-	if err := graph.WriteBinary(w, d.Graph); err != nil {
+	c := d.CSR()
+	if c == nil {
+		return fmt.Errorf("gen: dataset %s holds a non-CSR graph view; Compact() it before writing", d.Name)
+	}
+	if err := graph.WriteBinary(w, c); err != nil {
 		return err
 	}
 	bw.Reset(w)

@@ -35,8 +35,15 @@ func (b *Builder) NumVertices() int { return b.numVertices }
 // NumEdges returns the number of edges added so far.
 func (b *Builder) NumEdges() int { return len(b.edges) }
 
-// AddEdge appends a directed edge. Weight is ignored for unweighted builders.
+// AddEdge appends a directed edge. Weight is ignored for unweighted
+// builders. Both endpoints must be in [0, NumVertices); AddEdge panics
+// eagerly on an out-of-range endpoint so the faulty call site is in the
+// stack trace, instead of surfacing edges later as a Build error far from
+// where they were produced.
 func (b *Builder) AddEdge(src, dst int32, weight float32) {
+	if src < 0 || int(src) >= b.numVertices || dst < 0 || int(dst) >= b.numVertices {
+		panic(fmt.Sprintf("graph: AddEdge (%d,%d) out of range for %d vertices", src, dst, b.numVertices))
+	}
 	b.edges = append(b.edges, Edge{Src: src, Dst: dst, Weight: weight})
 }
 
@@ -51,8 +58,11 @@ func (b *Builder) Grow(n int) {
 
 // Build sorts edges into CSR order and returns the finished graph. If
 // dedup is true, parallel edges (same src and dst) are merged keeping the
-// first weight. Build validates vertex ranges and returns an error on any
-// out-of-range endpoint.
+// weight of the edge added first (first weight wins — the stable sort
+// preserves insertion order among equal (src,dst) pairs, and dedupEdges
+// keeps the earliest). Build validates vertex ranges and returns an error
+// on any out-of-range endpoint; AddEdge already panics on those, so this
+// only fires for edges injected directly into the slice.
 func (b *Builder) Build(dedup bool) (*CSR, error) {
 	n := b.numVertices
 	for _, e := range b.edges {
@@ -60,7 +70,7 @@ func (b *Builder) Build(dedup bool) (*CSR, error) {
 			return nil, fmt.Errorf("graph: edge (%d,%d) out of range for %d vertices", e.Src, e.Dst, n)
 		}
 	}
-	sort.Slice(b.edges, func(i, j int) bool {
+	sort.SliceStable(b.edges, func(i, j int) bool {
 		if b.edges[i].Src != b.edges[j].Src {
 			return b.edges[i].Src < b.edges[j].Src
 		}

@@ -11,13 +11,13 @@ package graph
 import (
 	"errors"
 	"fmt"
-	"sort"
 )
 
 // VertexID identifies a vertex. IDs are dense, starting at 0.
 type VertexID = int32
 
-// CSR is an immutable directed graph in compressed-sparse-row form.
+// CSR is an immutable directed graph in compressed-sparse-row form — the
+// base implementation of View.
 // The out-neighbors of vertex v are ColIdx[RowPtr[v]:RowPtr[v+1]].
 // If Weights is non-nil it is parallel to ColIdx and holds per-edge weights
 // (e.g. the "registration year" used by weighted neighborhood sampling).
@@ -26,6 +26,8 @@ type CSR struct {
 	ColIdx  []int32   // len NumEdges
 	Weights []float32 // nil, or len NumEdges
 }
+
+var _ View = (*CSR)(nil)
 
 // NumVertices returns the number of vertices.
 func (g *CSR) NumVertices() int { return len(g.RowPtr) - 1 }
@@ -137,20 +139,36 @@ func (g *CSR) MaxDegree() int64 {
 
 // DegreeRank returns vertex IDs sorted by descending out-degree, ties broken
 // by ascending ID. This is the ordering the degree-based caching policy uses.
+// It is DegreeRankTop with k = NumVertices; callers that only consult a
+// prefix (load_cache reads `slots` entries) should call DegreeRankTop.
 func (g *CSR) DegreeRank() []int32 {
+	return g.DegreeRankTop(g.NumVertices())
+}
+
+// DegreeRankTop returns the k highest-out-degree vertex IDs in descending
+// degree order, ties broken by ascending ID — the same prefix
+// DegreeRank()[:k] would give, in O(|V|) expected time via SelectTop
+// instead of a full sort. k is clamped to the vertex count.
+func (g *CSR) DegreeRankTop(k int) []int32 {
 	n := g.NumVertices()
 	ids := make([]int32, n)
 	for i := range ids {
 		ids[i] = int32(i)
 	}
-	sort.Slice(ids, func(a, b int) bool {
-		da, db := g.Degree(ids[a]), g.Degree(ids[b])
+	if k > n {
+		k = n
+	}
+	SelectTop(ids, k, func(a, b int32) bool {
+		da, db := g.Degree(a), g.Degree(b)
 		if da != db {
 			return da > db
 		}
-		return ids[a] < ids[b]
+		return a < b
 	})
-	return ids
+	if k == n {
+		return ids
+	}
+	return ids[:k:k]
 }
 
 // Reverse returns the transpose graph (every edge u->v becomes v->u).

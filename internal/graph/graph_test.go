@@ -89,7 +89,16 @@ func TestBuilderDedup(t *testing.T) {
 
 func TestBuilderRejectsOutOfRange(t *testing.T) {
 	b := NewBuilder(2, false)
-	b.AddEdge(0, 5, 0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AddEdge accepted out-of-range destination")
+			}
+		}()
+		b.AddEdge(0, 5, 0)
+	}()
+	// Build still validates edges injected behind AddEdge's back.
+	b.edges = append(b.edges, Edge{Src: 0, Dst: 5})
 	if _, err := b.Build(false); err == nil {
 		t.Error("Build accepted out-of-range edge")
 	}

@@ -11,7 +11,7 @@ import (
 // lightweight stand-in for the METIS-style clustering subgraph samplers
 // (ClusterGCN [15]) rely on, and for the self-reliant partitions the
 // partitioning discussion in §8 analyses.
-func Partition(g *CSR, k int, seed uint64) [][]int32 {
+func Partition(g View, k int, seed uint64) [][]int32 {
 	n := g.NumVertices()
 	if k <= 0 {
 		panic("graph: Partition with non-positive k")

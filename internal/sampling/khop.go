@@ -82,7 +82,7 @@ func (k *KHop) Name() string {
 func (k *KHop) NumHops() int { return len(k.Fanouts) }
 
 // Sample implements Algorithm.
-func (k *KHop) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
+func (k *KHop) Sample(g graph.View, seeds []int32, r *rng.Rand) *Sample {
 	sc := k.scratchArena()
 	expect := expectedVertices(len(seeds), k.Fanouts)
 	loc, s := sc.begin(seeds, expect, len(k.Fanouts))

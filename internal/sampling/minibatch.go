@@ -72,13 +72,13 @@ func CloneAlgorithm(alg Algorithm) Algorithm {
 // the same sampler hit read-only state instead of racing on a build lock.
 // Prepare must be idempotent and safe to call concurrently.
 type Preparer interface {
-	Prepare(g *graph.CSR)
+	Prepare(g graph.View)
 }
 
 // Prepare eagerly runs alg's per-graph preprocessing, if any. The parallel
 // measurement engine calls this once on the coordinating goroutine before
 // fanning Sample calls across workers.
-func Prepare(alg Algorithm, g *graph.CSR) {
+func Prepare(alg Algorithm, g graph.View) {
 	if p, ok := alg.(Preparer); ok {
 		p.Prepare(g)
 	}

@@ -72,7 +72,7 @@ func (w *RandomWalk) Name() string {
 func (w *RandomWalk) NumHops() int { return w.Layers }
 
 // Sample implements Algorithm.
-func (w *RandomWalk) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
+func (w *RandomWalk) Sample(g graph.View, seeds []int32, r *rng.Rand) *Sample {
 	sc := w.scratchArena()
 	expect := expectedVertices(len(seeds), w.fanouts)
 	loc, s := sc.begin(seeds, expect, w.Layers)

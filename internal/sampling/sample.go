@@ -125,12 +125,15 @@ func (s *Sample) Validate() error {
 
 // Algorithm is a graph sampling scheme following the programming model of
 // §5.1: given a graph and a mini-batch of seeds it returns a Sample.
-// Implementations must be deterministic in (graph, seeds, r).
+// Implementations must be deterministic in (graph, seeds, r). The graph
+// arrives as a read-only View — a base CSR or a delta Snapshot — and must
+// not change between calls that are meant to be comparable; samplers key
+// shared per-graph tables by the View value itself.
 type Algorithm interface {
 	Name() string
 	// NumHops returns the number of layers the algorithm produces.
 	NumHops() int
-	Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample
+	Sample(g graph.View, seeds []int32, r *rng.Rand) *Sample
 }
 
 // localizer assigns consecutive local IDs to global vertex IDs — the

@@ -138,7 +138,7 @@ type stubAlgorithm struct{}
 
 func (stubAlgorithm) Name() string { return "stub" }
 func (stubAlgorithm) NumHops() int { return 1 }
-func (stubAlgorithm) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
+func (stubAlgorithm) Sample(g graph.View, seeds []int32, r *rng.Rand) *Sample {
 	return &Sample{Seeds: seeds, Input: seeds}
 }
 

@@ -29,7 +29,7 @@ import (
 
 // inducedSample builds the single-layer induced-subgraph sample for the
 // given member set (seeds must be a prefix of members) on sc's buffers.
-func inducedSample(g *graph.CSR, seeds, members []int32, sc *scratch) *Sample {
+func inducedSample(g graph.View, seeds, members []int32, sc *scratch) *Sample {
 	loc, s := sc.begin(seeds, len(members)*2, 1)
 	s.Subgraph = true
 	for _, v := range members {
@@ -63,7 +63,7 @@ type ClusterGCN struct {
 	NumClusters int
 	Seed        uint64
 
-	// partitions maps *graph.CSR to its *clusterState; each state's
+	// partitions maps graph.View to its *clusterState; each state's
 	// partition is built exactly once (behind a sync.Once) and shared
 	// across clones, so concurrent executors read immutable data.
 	partitions *sync.Map
@@ -112,9 +112,9 @@ func (c *ClusterGCN) NumHops() int { return 1 }
 
 // Prepare implements Preparer: it partitions g eagerly so concurrent
 // executors never contend on the lazy build.
-func (c *ClusterGCN) Prepare(g *graph.CSR) { c.ensure(g) }
+func (c *ClusterGCN) Prepare(g graph.View) { c.ensure(g) }
 
-func (c *ClusterGCN) ensure(g *graph.CSR) *clusterState {
+func (c *ClusterGCN) ensure(g graph.View) *clusterState {
 	if e, ok := c.partitions.Load(g); ok {
 		st := e.(*clusterState)
 		if st.done.Load() {
@@ -133,7 +133,7 @@ func (c *ClusterGCN) ensure(g *graph.CSR) *clusterState {
 
 // Sample implements Algorithm: the member set is the union of the seeds'
 // clusters (seeds listed first).
-func (c *ClusterGCN) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
+func (c *ClusterGCN) Sample(g graph.View, seeds []int32, r *rng.Rand) *Sample {
 	st := c.ensure(g)
 	_ = r
 	sc := c.scratchArena()
@@ -205,7 +205,7 @@ func (sn *SAINTNode) Name() string { return fmt.Sprintf("saint-node(%d)", sn.Bud
 func (sn *SAINTNode) NumHops() int { return 1 }
 
 // Sample implements Algorithm.
-func (sn *SAINTNode) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
+func (sn *SAINTNode) Sample(g graph.View, seeds []int32, r *rng.Rand) *Sample {
 	n := g.NumVertices()
 	sc := sn.scratchArena()
 	sc.stats.Grows += sc.seen.reset(n)
@@ -229,8 +229,21 @@ func (sn *SAINTNode) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
 type SAINTEdge struct {
 	EdgeBudget int
 
+	// offsets maps graph.View to its *edgeOffsetState: the per-vertex edge
+	// offsets that turn a uniform edge index into (src, dst). A base CSR's
+	// RowPtr is used directly; other Views build the prefix sum once,
+	// shared across clones (same once+done publication as the weighted
+	// tables).
+	offsets *sync.Map
+
 	// sc is the reusable arena behind Sample; clone per executor.
 	sc *scratch
+}
+
+type edgeOffsetState struct {
+	once   sync.Once
+	done   atomic.Bool
+	rowPtr []int64
 }
 
 // NewSAINTEdge returns an edge-budget subgraph sampler.
@@ -238,15 +251,43 @@ func NewSAINTEdge(budget int) *SAINTEdge {
 	if budget <= 0 {
 		panic("sampling: NewSAINTEdge with non-positive budget")
 	}
-	return &SAINTEdge{EdgeBudget: budget}
+	return &SAINTEdge{EdgeBudget: budget, offsets: &sync.Map{}}
 }
 
-// Clone returns an independent sampler sharing configuration but not
-// scratch state.
+// Clone returns an independent sampler sharing the edge-offset index but
+// not scratch state.
 func (se *SAINTEdge) Clone() Algorithm {
 	c := *se
 	c.sc = nil
 	return &c
+}
+
+// Prepare implements Preparer: it builds the edge-offset index eagerly so
+// concurrent executors never contend on the lazy build.
+func (se *SAINTEdge) Prepare(g graph.View) { se.edgeRowPtr(g) }
+
+// edgeRowPtr returns the per-vertex edge offsets for g, building them
+// exactly once per View (allocation-free fast path once published).
+func (se *SAINTEdge) edgeRowPtr(g graph.View) []int64 {
+	if c, ok := g.(*graph.CSR); ok {
+		return c.RowPtr
+	}
+	if se.offsets == nil {
+		se.offsets = &sync.Map{}
+	}
+	if e, ok := se.offsets.Load(g); ok {
+		st := e.(*edgeOffsetState)
+		if st.done.Load() {
+			return st.rowPtr
+		}
+	}
+	e, _ := se.offsets.LoadOrStore(g, &edgeOffsetState{})
+	st := e.(*edgeOffsetState)
+	st.once.Do(func() {
+		st.rowPtr = edgeOffsets(g)
+		st.done.Store(true)
+	})
+	return st.rowPtr
 }
 
 // scratchArena implements scratchOwner, creating the arena on first use.
@@ -264,8 +305,9 @@ func (se *SAINTEdge) Name() string { return fmt.Sprintf("saint-edge(%d)", se.Edg
 func (se *SAINTEdge) NumHops() int { return 1 }
 
 // Sample implements Algorithm.
-func (se *SAINTEdge) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
+func (se *SAINTEdge) Sample(g graph.View, seeds []int32, r *rng.Rand) *Sample {
 	e := g.NumEdges()
+	rowPtr := se.edgeRowPtr(g)
 	sc := se.scratchArena()
 	sc.stats.Grows += sc.seen.reset(g.NumVertices())
 	members := sc.members[:0]
@@ -275,8 +317,8 @@ func (se *SAINTEdge) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
 	}
 	for i := 0; i < se.EdgeBudget; i++ {
 		idx := int64(r.Uint64n(uint64(e)))
-		dst := g.ColIdx[idx]
-		src := edgeSource(g, idx)
+		src := edgeSource(rowPtr, idx)
+		dst := g.Adj(src)[idx-rowPtr[src]]
 		if sc.seen.add(src) {
 			members = append(members, src)
 		}
@@ -288,13 +330,13 @@ func (se *SAINTEdge) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
 	return inducedSample(g, seeds, members, sc)
 }
 
-// edgeSource finds the source vertex of the edge at CSR offset idx by
-// binary searching the row pointers.
-func edgeSource(g *graph.CSR, idx int64) int32 {
-	lo, hi := 0, g.NumVertices()
+// edgeSource finds the source vertex of the edge at offset idx by binary
+// searching the row pointers.
+func edgeSource(rowPtr []int64, idx int64) int32 {
+	lo, hi := 0, len(rowPtr)-1
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if g.RowPtr[mid+1] <= idx {
+		if rowPtr[mid+1] <= idx {
 			lo = mid + 1
 		} else {
 			hi = mid

@@ -99,7 +99,7 @@ func TestEdgeSourceBinarySearch(t *testing.T) {
 	}
 	wantSources := []int32{0, 0, 2, 3}
 	for idx, want := range wantSources {
-		if got := edgeSource(g, int64(idx)); got != want {
+		if got := edgeSource(g.RowPtr, int64(idx)); got != want {
 			t.Errorf("edgeSource(%d) = %d, want %d", idx, got, want)
 		}
 	}

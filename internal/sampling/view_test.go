@@ -1,0 +1,119 @@
+package sampling
+
+import (
+	"bytes"
+	"testing"
+
+	"gnnlab/internal/graph"
+	"gnnlab/internal/rng"
+)
+
+// deltaPair builds the same random weighted graph two ways: a prefix of
+// the edge stream into a base CSR with the suffix applied through a
+// graph.Delta (including vertices born after the base was built), and the
+// whole stream through one Builder. Sampling over the two views must be
+// bit-identical.
+func deltaPair(t *testing.T, seed uint64, nBase, nNew, avgDeg, minDeg int) (*graph.Snapshot, *graph.CSR) {
+	t.Helper()
+	n := nBase + nNew
+	r := rng.New(seed)
+	type e struct {
+		src, dst int32
+		w        float32
+	}
+	var baseEdges, deltaEdges []e
+	for v := 0; v < n; v++ {
+		deg := minDeg + r.Intn(2*avgDeg)
+		for i := 0; i < deg; i++ {
+			dst := int32(r.Intn(n))
+			if dst == int32(v) {
+				continue
+			}
+			ed := e{int32(v), dst, float32(r.Float64()) + 0.01}
+			// Edges touching late-born vertices, plus a random third of
+			// the rest, arrive through the delta.
+			if v >= nBase || int(dst) >= nBase || r.Intn(3) == 0 {
+				deltaEdges = append(deltaEdges, ed)
+			} else {
+				baseEdges = append(baseEdges, ed)
+			}
+		}
+	}
+	b := graph.NewBuilder(nBase, true)
+	for _, ed := range baseEdges {
+		b.AddEdge(ed.src, ed.dst, ed.w)
+	}
+	base, err := b.Build(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := graph.NewDelta(base, false)
+	if first := d.AddVertices(nNew); first != int32(nBase) {
+		t.Fatalf("AddVertices returned %d, want %d", first, nBase)
+	}
+	for _, ed := range deltaEdges {
+		d.AddEdge(ed.src, ed.dst, ed.w)
+	}
+
+	full := graph.NewBuilder(n, true)
+	for _, ed := range append(append([]e(nil), baseEdges...), deltaEdges...) {
+		full.AddEdge(ed.src, ed.dst, ed.w)
+	}
+	want, err := full.Build(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Snapshot(), want
+}
+
+// TestSampleSnapshotMatchesRebuild is the sampling half of the dynamic-graph
+// differential suite: every algorithm family must produce bit-identical
+// samples whether the graph arrives as a delta snapshot or as a from-scratch
+// CSR rebuild of the same edge set.
+func TestSampleSnapshotMatchesRebuild(t *testing.T) {
+	snap, rebuilt := deltaPair(t, 7, 360, 40, 8, 2)
+	n := rebuilt.NumVertices()
+	for _, tc := range scratchAlgorithms() {
+		t.Run(tc.name, func(t *testing.T) {
+			a1, a2 := tc.mk(), tc.mk()
+			rSeeds := rng.New(99)
+			for call := 0; call < 15; call++ {
+				sd := seeds(6+call%5, n, rSeeds)
+				r1, r2 := rng.New(uint64(1000+call)), rng.New(uint64(1000+call))
+				s1 := a1.Sample(snap, sd, r1)
+				s2 := a2.Sample(rebuilt, sd, r2)
+				if !bytes.Equal(gobBytes(t, s1), gobBytes(t, s2)) {
+					t.Fatalf("call %d: snapshot sample differs from rebuild sample", call)
+				}
+			}
+		})
+	}
+}
+
+// TestSampleSnapshotZeroAllocs extends the PR 4 zero-alloc guarantee to
+// dynamic views: steady-state pooled sampling through a *graph.Snapshot
+// (interface dispatch, overlay rows, shared lazy weight tables) must not
+// allocate either.
+func TestSampleSnapshotZeroAllocs(t *testing.T) {
+	snap, _ := deltaPair(t, 13, 360, 40, 8, 2)
+	n := snap.NumVertices()
+	for _, tc := range scratchAlgorithms() {
+		t.Run(tc.name, func(t *testing.T) {
+			alg := ClonePooled(tc.mk())
+			r := rng.New(5)
+			rSeeds := rng.New(6)
+			sd := seeds(8, n, rSeeds)
+			for i := 0; i < 50; i++ {
+				alg.Sample(snap, sd, r)
+			}
+			saved := *r
+			avg := testing.AllocsPerRun(20, func() {
+				*r = saved
+				alg.Sample(snap, sd, r)
+			})
+			if avg != 0 {
+				t.Errorf("steady-state Sample over snapshot allocates %.1f/op, want 0", avg)
+			}
+		})
+	}
+}

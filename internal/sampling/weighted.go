@@ -38,34 +38,53 @@ type WeightedKHop struct {
 
 // weightTables caches the per-graph draw structures so every executor
 // cloned from the same sampler shares one O(E) precomputation. Each graph
-// maps to an entry guarded by a sync.Once: the build happens exactly once
-// no matter how many clones race, and after it the lookup is a lock-free
-// sync.Map read — Sample's hot path never takes a build lock. Prefer
-// building eagerly via Prepare before fanning out executors.
+// View maps to an entry guarded by a sync.Once: the build happens exactly
+// once no matter how many clones race, and after it the lookup is a
+// lock-free sync.Map read — Sample's hot path never takes a build lock.
+// Views are immutable, so keying by the interface value (pointer identity
+// of the underlying CSR or Snapshot) is sound. Prefer building eagerly via
+// Prepare before fanning out executors.
 type weightTables struct {
-	cdf   sync.Map // *graph.CSR -> *cdfTable
-	alias sync.Map // *graph.CSR -> *aliasTable
+	cdf   sync.Map // graph.View -> *cdfTable
+	alias sync.Map // graph.View -> *aliasTable
 	// builds counts table constructions across both methods; tests assert
 	// exactly-once builds under concurrent clones.
 	builds atomic.Int64
 }
 
 // cdfTable is one graph's cumulative-weight array, built once. done is
-// the publication flag: set (with release semantics) only after cum is
-// fully built, so the hot path can skip the sync.Once closure — which
-// would otherwise allocate on every Sample call.
+// the publication flag: set (with release semantics) only after the arrays
+// are fully built, so the hot path can skip the sync.Once closure — which
+// would otherwise allocate on every Sample call. rowPtr maps vertices to
+// edge offsets into cum; for a base CSR it aliases the graph's own RowPtr.
 type cdfTable struct {
-	once sync.Once
-	done atomic.Bool
-	cum  []float32 // parallel to g.Weights, cumulative per row
+	once   sync.Once
+	done   atomic.Bool
+	rowPtr []int64   // len NumVertices+1, edge offsets into cum
+	cum    []float32 // cumulative weights per row
 }
 
 // aliasTable is one graph's per-row alias tables, built once (same
 // done-flag publication scheme as cdfTable).
 type aliasTable struct {
-	once sync.Once
-	done atomic.Bool
-	fa   *flatAlias
+	once   sync.Once
+	done   atomic.Bool
+	rowPtr []int64 // len NumVertices+1, edge offsets into fa
+	fa     *flatAlias
+}
+
+// edgeOffsets returns per-vertex edge offsets for g: a base CSR's own
+// RowPtr, or an O(|V|) prefix sum of degrees for any other View.
+func edgeOffsets(g graph.View) []int64 {
+	if c, ok := g.(*graph.CSR); ok {
+		return c.RowPtr
+	}
+	n := g.NumVertices()
+	rp := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		rp[v+1] = rp[v] + g.Degree(int32(v))
+	}
+	return rp
 }
 
 // flatAlias packs one alias table per adjacency row into flat arrays
@@ -123,7 +142,7 @@ func (w *WeightedKHop) NumHops() int { return len(w.Fanouts) }
 // Prepare implements Preparer: it eagerly builds the draw tables of the
 // configured method for g, so the lazy build never contends once executors
 // fan out. No-op on unweighted graphs (Sample reports that error itself).
-func (w *WeightedKHop) Prepare(g *graph.CSR) {
+func (w *WeightedKHop) Prepare(g graph.View) {
 	if !g.Weighted() {
 		return
 	}
@@ -135,80 +154,90 @@ func (w *WeightedKHop) Prepare(g *graph.CSR) {
 }
 
 // cumulative returns (building exactly once if needed) the cumulative
-// weight array for g. The done-flag fast path keeps the steady state
+// weight table for g. The done-flag fast path keeps the steady state
 // allocation-free: LoadOrStore with a fresh value and the once.Do
 // closure both allocate, so they run only until the build is published.
-func (t *weightTables) cumulative(g *graph.CSR) []float32 {
+func (t *weightTables) cumulative(g graph.View) *cdfTable {
 	if e, ok := t.cdf.Load(g); ok {
 		ct := e.(*cdfTable)
 		if ct.done.Load() {
-			return ct.cum
+			return ct
 		}
 	}
 	e, _ := t.cdf.LoadOrStore(g, &cdfTable{})
 	ct := e.(*cdfTable)
 	ct.once.Do(func() {
 		t.builds.Add(1)
-		cum := make([]float32, len(g.Weights))
+		rowPtr := edgeOffsets(g)
+		cum := make([]float32, g.NumEdges())
 		n := g.NumVertices()
 		for v := 0; v < n; v++ {
-			lo, hi := g.RowPtr[v], g.RowPtr[v+1]
+			lo := rowPtr[v]
 			var run float32
-			for i := lo; i < hi; i++ {
-				run += g.Weights[i]
-				cum[i] = run
+			for i, w := range g.AdjWeights(int32(v)) {
+				run += w
+				cum[lo+int64(i)] = run
 			}
 		}
+		ct.rowPtr = rowPtr
 		ct.cum = cum
 		ct.done.Store(true)
 	})
-	return ct.cum
+	return ct
 }
 
 // aliases returns (building exactly once if needed) per-row alias tables
 // for g (same allocation-free fast path as cumulative).
-func (t *weightTables) aliases(g *graph.CSR) *flatAlias {
+func (t *weightTables) aliases(g graph.View) *aliasTable {
 	if e, ok := t.alias.Load(g); ok {
 		at := e.(*aliasTable)
 		if at.done.Load() {
-			return at.fa
+			return at
 		}
 	}
 	e, _ := t.alias.LoadOrStore(g, &aliasTable{})
 	at := e.(*aliasTable)
 	at.once.Do(func() {
 		t.builds.Add(1)
+		rowPtr := edgeOffsets(g)
+		numEdges := g.NumEdges()
 		fa := &flatAlias{
-			prob:  make([]float32, len(g.Weights)),
-			alias: make([]int32, len(g.Weights)),
+			prob:  make([]float32, numEdges),
+			alias: make([]int32, numEdges),
 		}
 		n := g.NumVertices()
 		for v := 0; v < n; v++ {
-			lo, hi := g.RowPtr[v], g.RowPtr[v+1]
-			if lo == hi {
+			weights := g.AdjWeights(int32(v))
+			if len(weights) == 0 {
 				continue
 			}
-			row := NewAliasTable(g.Weights[lo:hi])
+			lo := rowPtr[v]
+			hi := lo + int64(len(weights))
+			row := NewAliasTable(weights)
 			copy(fa.prob[lo:hi], row.prob)
 			copy(fa.alias[lo:hi], row.alias)
 		}
+		at.rowPtr = rowPtr
 		at.fa = fa
 		at.done.Store(true)
 	})
-	return at.fa
+	return at
 }
 
 // Sample implements Algorithm.
-func (w *WeightedKHop) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample {
+func (w *WeightedKHop) Sample(g graph.View, seeds []int32, r *rng.Rand) *Sample {
 	if !g.Weighted() {
 		panic("sampling: weighted k-hop on unweighted graph")
 	}
+	var rowPtr []int64
 	var cum []float32
 	var fa *flatAlias
 	if w.Method == WeightedAlias {
-		fa = w.tables.aliases(g)
+		at := w.tables.aliases(g)
+		rowPtr, fa = at.rowPtr, at.fa
 	} else {
-		cum = w.tables.cumulative(g)
+		ct := w.tables.cumulative(g)
+		rowPtr, cum = ct.rowPtr, ct.cum
 	}
 	sc := w.scratchArena()
 	expect := expectedVertices(len(seeds), w.Fanouts)
@@ -223,12 +252,13 @@ func (w *WeightedKHop) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *Sample 
 		src, dst := sc.layerStart(li, layer.NumDst*fanout)
 		for dstLocal := frontierStart; dstLocal < frontierEnd; dstLocal++ {
 			v := loc.input[dstLocal]
-			lo, hi := g.RowPtr[v], g.RowPtr[v+1]
-			d := int(hi - lo)
+			adj := g.Adj(v)
+			d := len(adj)
 			if d == 0 {
 				continue
 			}
-			adj := g.ColIdx[lo:hi]
+			lo := rowPtr[v]
+			hi := lo + int64(d)
 			if d <= fanout {
 				// Degenerate case: take everyone once, like the
 				// uniform sampler does.

@@ -229,7 +229,7 @@ func (p *panicSampler) NumHops() int { return p.inner.NumHops() }
 func (p *panicSampler) Clone() sampling.Algorithm {
 	return &panicSampler{inner: sampling.CloneAlgorithm(p.inner), calls: p.calls, panicAt: p.panicAt}
 }
-func (p *panicSampler) Sample(g *graph.CSR, seeds []int32, r *rng.Rand) *sampling.Sample {
+func (p *panicSampler) Sample(g graph.View, seeds []int32, r *rng.Rand) *sampling.Sample {
 	if atomic.AddInt32(p.calls, 1) == p.panicAt {
 		panic("injected sampler failure")
 	}

@@ -31,3 +31,16 @@ go test -timeout 3600s -run xxx -bench=BenchmarkMinibatch -benchtime=1x .
 go test -timeout 3600s -count=1 -run 'Fault|Resilience|CrashRecovery' ./internal/sim ./internal/fault ./internal/core ./internal/train ./internal/experiments
 # Resilience smoke: the fault sweep end to end through the CLI.
 go run ./cmd/gnnlab-bench -scale 8 -gpus 4 -epochs 2 -faults 3 resilience
+# Dynamic-graph suite under race: the delta/snapshot structural tests, the
+# snapshot-vs-rebuild differentials at every layer (sampling, PreSC,
+# footprint, measure — covered again by the full -race suite above;
+# -count=1 defeats caching), and the snapshot zero-alloc pin.
+go test -race -timeout 3600s -count=1 \
+	-run 'TestSnapshot|TestDelta|TestCompact|TestDegreeRankTop|SnapshotMatchesRebuild|TestSampleSnapshotZeroAllocs|TestHotness' \
+	./internal/graph ./internal/sampling ./internal/cache ./internal/measure
+# Graph-delta benchmark smoke: one iteration regenerates BENCH_graph.json
+# (snapshot/compact cost, overlay sampling overhead, O(|Δ|) ApplyDelta).
+go test -timeout 3600s -run xxx -bench='BenchmarkSnapshotOverhead|BenchmarkApplyDelta' -benchtime=1x .
+# Drift smoke: the dynamic-graph cache-policy experiment end to end
+# through the CLI (degree vs PreSC under drift at two re-rank cadences).
+go run ./cmd/gnnlab-bench -scale 8 -gpus 4 -epochs 2 -drift 3 drift
