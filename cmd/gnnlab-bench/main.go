@@ -4,7 +4,7 @@
 // Usage:
 //
 //	gnnlab-bench [-scale N] [-gpus N] [-epochs N] [-workers N] [-faults N] [-drift N]
-//	             [-format table|csv] [-list]
+//	             [-format table|csv] [-list] [-whatif DATASET] [-eventlog out.jsonl]
 //	             [-trace out.json] [-metrics] [-pprof addr] [experiment ...]
 //
 // With no experiment arguments, every registered experiment (the paper's
@@ -20,6 +20,7 @@ import (
 	"os"
 	"time"
 
+	"gnnlab"
 	"gnnlab/internal/experiments"
 	"gnnlab/internal/measure"
 	"gnnlab/internal/obs"
@@ -39,6 +40,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file of the run to this path")
 	metrics := flag.Bool("metrics", false, "print the observability counters (measure/cost/store) to stderr at the end")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
+	whatif := flag.String("whatif", "", "trace one GNNLab epoch on this dataset preset and print its time accounting + what-if capacity estimates (skips the experiments)")
+	eventlogPath := flag.String("eventlog", "", "write a structured JSONL event log (faults, reallocations, per-run summaries) to this path")
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "gnnlab-bench: unknown format %q\n", *format)
@@ -53,15 +56,43 @@ func main() {
 	}
 
 	opts := experiments.Options{Scale: *scale, NumGPUs: *gpus, Epochs: *epochs, Seed: *seed, Workers: *workers, Faults: *faults, Drift: *drift}
-	if *tracePath != "" || *metrics || *pprofAddr != "" {
+	if *tracePath != "" || *metrics || *pprofAddr != "" || *eventlogPath != "" {
 		opts.Obs = obs.NewRecorder()
 	}
+	var evFile *os.File
+	if *eventlogPath != "" {
+		f, err := os.Create(*eventlogPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		evFile = f
+		opts.Obs.SetEventLog(obs.NewLog(f, obs.LevelInfo))
+	}
+	// os.Exit skips defers: every exit path below funnels through this.
+	closeEventLog := func() {
+		if evFile == nil {
+			return
+		}
+		if err := opts.Obs.EventLog().Err(); err != nil {
+			log.Printf("event log: %v", err)
+		}
+		if err := evFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+		evFile = nil
+	}
+	if *whatif != "" {
+		runWhatIf(*whatif, *scale, *gpus, opts.Obs)
+		closeEventLog()
+		return
+	}
 	if *pprofAddr != "" {
-		go func() {
-			if err := obs.ServeDebug(*pprofAddr, opts.Obs.Registry()); err != nil {
-				log.Printf("pprof server: %v", err)
-			}
-		}()
+		ds, err := obs.ServeDebug(*pprofAddr, opts.Obs.Registry())
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "debug server: http://%s/metrics\n", ds.Addr)
 	}
 	if !*noStore {
 		// One content-keyed store across all experiments: cells sharing
@@ -118,5 +149,41 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	closeEventLog()
 	os.Exit(exit)
+}
+
+// runWhatIf traces one GNNLab epoch on a dataset preset and prints the
+// exact time accounting — which role binds epoch time, and the factored
+// estimates for each ±1-GPU reallocation.
+func runWhatIf(dataset string, scale, gpus int, rec *gnnlab.Observer) {
+	d, err := gnnlab.LoadDatasetScaled(dataset, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := gnnlab.NewWorkload(gnnlab.ModelGCN)
+	w.BatchSize /= scale
+	if w.BatchSize < 4 {
+		w.BatchSize = 4
+	}
+	cfg := gnnlab.NewGNNLab(w, gpus)
+	cfg.GPUMemory = gnnlab.DefaultGPUMemory / int64(scale)
+	cfg.MemScale = float64(scale)
+	cfg.Epochs = 1
+	cfg.Trace = true
+	rep, err := gnnlab.RunObserved(d, cfg, rec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep.OOM {
+		log.Fatalf("OOM: %s", rep.OOMReason)
+	}
+	fmt.Printf("%s\n\n", rep)
+	acct, err := gnnlab.BuildAccount(rep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := acct.WriteReport(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

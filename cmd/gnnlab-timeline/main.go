@@ -11,7 +11,7 @@
 // Usage:
 //
 //	gnnlab-timeline [-system gnnlab|dgl|tsota|pyg] [-model gcn|sage|pinsage]
-//	                [-dataset PA] [-gpus 8] [-scale 8] [-csv] [-gantt]
+//	                [-dataset PA] [-gpus 8] [-scale 8] [-csv] [-gantt] [-report]
 //	                [-trace out.json] [-metrics] [-pprof addr]
 package main
 
@@ -33,6 +33,7 @@ func main() {
 	scale := flag.Int("scale", 8, "dataset/GPU scale divisor")
 	csv := flag.Bool("csv", false, "dump the raw timeline as CSV")
 	gantt := flag.Bool("gantt", true, "print an ASCII per-trainer Gantt chart")
+	report := flag.Bool("report", false, "print the exact time accounting: lane decomposition, critical path, what-if estimates")
 	switching := flag.Bool("switching", false, "enable dynamic executor switching")
 	faults := flag.Int("faults", 0, "inject this many seed-keyed generated faults into the traced epoch")
 	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file to this path")
@@ -45,11 +46,12 @@ func main() {
 		rec = gnnlab.NewObserver()
 	}
 	if *pprofAddr != "" {
-		go func() {
-			if err := obs.ServeDebug(*pprofAddr, rec.Registry()); err != nil {
-				log.Printf("pprof server: %v", err)
-			}
-		}()
+		ds, err := obs.ServeDebug(*pprofAddr, rec.Registry())
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "debug server: http://%s/metrics\n", ds.Addr)
 	}
 
 	d, err := gnnlab.LoadDatasetScaled(*dataset, *scale)
@@ -129,6 +131,9 @@ func main() {
 	}
 	if *gantt {
 		fmt.Print(renderGantt(rep))
+	}
+	if *report {
+		fmt.Print(renderReport(rep))
 	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)

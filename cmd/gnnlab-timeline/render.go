@@ -21,6 +21,21 @@ func renderCSV(rep *gnnlab.Report) string {
 	return b.String()
 }
 
+// renderReport renders the traced epoch's exact time accounting: the
+// bottleneck verdict, the per-lane busy/idle/wait decomposition, the
+// critical-path attribution and the what-if capacity estimates.
+func renderReport(rep *gnnlab.Report) string {
+	acct, err := gnnlab.BuildAccount(rep)
+	if err != nil {
+		return fmt.Sprintf("accounting unavailable: %v\n", err)
+	}
+	var b strings.Builder
+	if err := acct.WriteReport(&b); err != nil {
+		return fmt.Sprintf("accounting unavailable: %v\n", err)
+	}
+	return b.String()
+}
+
 // renderGantt renders one line per consumer: '.' idle, 'e' extracting,
 // 'T' training, over 100 time buckets.
 func renderGantt(rep *gnnlab.Report) string {

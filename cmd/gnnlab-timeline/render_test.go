@@ -4,6 +4,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"gnnlab"
@@ -69,5 +70,16 @@ func TestRenderCSVHeaderOnlyWithoutTimeline(t *testing.T) {
 	want := "task,consumer,standby,producer,sample_start,ready,extract_start,extract_end,train_start,train_end\n"
 	if out != want {
 		t.Errorf("got %q, want header only", out)
+	}
+}
+
+func TestRenderReportGolden(t *testing.T) {
+	checkGolden(t, "report.golden", renderReport(fixedReport()))
+}
+
+func TestRenderReportWithoutTimeline(t *testing.T) {
+	out := renderReport(&gnnlab.Report{})
+	if !strings.Contains(out, "accounting unavailable") {
+		t.Errorf("untraced report rendered %q, want an accounting-unavailable notice", out)
 	}
 }

@@ -45,11 +45,12 @@ func main() {
 		rec = gnnlab.NewObserver()
 	}
 	if *pprofAddr != "" {
-		go func() {
-			if err := obs.ServeDebug(*pprofAddr, rec.Registry()); err != nil {
-				log.Printf("pprof server: %v", err)
-			}
-		}()
+		ds, err := obs.ServeDebug(*pprofAddr, rec.Registry())
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "debug server: http://%s/metrics\n", ds.Addr)
 	}
 
 	var kind gnnlab.ModelKind

@@ -29,6 +29,8 @@
 package gnnlab
 
 import (
+	"io"
+
 	"gnnlab/internal/core"
 	"gnnlab/internal/device"
 	"gnnlab/internal/fault"
@@ -36,6 +38,7 @@ import (
 	"gnnlab/internal/measure"
 	"gnnlab/internal/nn"
 	"gnnlab/internal/obs"
+	"gnnlab/internal/obs/account"
 	"gnnlab/internal/train"
 	"gnnlab/internal/workload"
 )
@@ -151,6 +154,57 @@ func RunObserved(d *Dataset, cfg SystemConfig, o *Observer) (*Report, error) {
 	cfg.Obs = o
 	return core.Run(d, cfg)
 }
+
+// Account is the exact time accounting of a traced run's epoch: a
+// per-lane busy/idle/queue-wait decomposition that sums to lanes ×
+// makespan, the critical path through the task dependency graph, and
+// factored what-if estimates (±1 GPU per role, degradation removed).
+// Reports carry one (Report.Account) whenever SystemConfig.Trace
+// captured a timeline; render it with Account.WriteReport.
+type Account = account.Account
+
+// AccountSummary is an Account's one-line verdict: which role binds
+// epoch time and how the critical path splits across stages.
+type AccountSummary = account.Summary
+
+// BuildAccount returns a report's time accounting: the one built during
+// the traced run when present, otherwise one reconstructed from the
+// report's timeline. It errors when the report has no timeline (the run
+// was not traced) or the timeline is inconsistent.
+func BuildAccount(rep *Report) (*Account, error) {
+	if rep.Account != nil {
+		return rep.Account, nil
+	}
+	var m float64
+	for _, rec := range rep.Timeline {
+		if rec.TrainEnd > m {
+			m = rec.TrainEnd
+		}
+	}
+	return account.Build(account.Input{
+		Timeline:    rep.Timeline,
+		Makespan:    m,
+		FaultEvents: rep.FaultEvents,
+	})
+}
+
+// EventLog is a leveled, structured JSONL event log. Attach one to an
+// Observer with SetEventLog to stream fault injections, scheduler
+// reallocations and per-run summaries as machine-parseable lines; a nil
+// log is valid, disabled and free.
+type EventLog = obs.Log
+
+// Event-log severity levels.
+const (
+	LogDebug = obs.LevelDebug
+	LogInfo  = obs.LevelInfo
+	LogWarn  = obs.LevelWarn
+	LogError = obs.LevelError
+)
+
+// NewEventLog returns an event log writing JSONL records at or above
+// min to w.
+func NewEventLog(w io.Writer, min obs.Level) *EventLog { return obs.NewLog(w, min) }
 
 // Measurement is the recorded sampling work of a run — a cost-model-free
 // artifact (per-batch edge counts, input-vertex sets, layer shapes) that

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"gnnlab/internal/cache"
+	"gnnlab/internal/obs"
+	"gnnlab/internal/obs/account"
 	"gnnlab/internal/sched"
 	"gnnlab/internal/sim"
 )
@@ -135,6 +137,7 @@ func (rn runner) simulateEpoch(rep *Report, s epochSpec) float64 {
 		rep.TasksByStandby += res.TasksByStandby
 		if res.Timeline != nil {
 			rep.Timeline = res.Timeline
+			rn.accountEpoch(rep, res, s.tasks)
 		}
 		rn.foldFaults(rep, res)
 		return res.Makespan
@@ -142,10 +145,34 @@ func (rn runner) simulateEpoch(rep *Report, s epochSpec) float64 {
 		res := sim.Consume(s.tasks, s.opts)
 		if res.Timeline != nil {
 			rep.Timeline = res.Timeline
+			rn.accountEpoch(rep, res, s.tasks)
 		}
 		rn.foldFaults(rep, res)
 		return res.Makespan
 	}
+}
+
+// accountEpoch decomposes the traced epoch's timeline into the exact
+// per-lane time accounting and critical path (internal/obs/account).
+// The account is a pure function of the simulation result, so it is
+// built whenever a timeline is captured — with or without a recorder —
+// keeping the Report bit-identical either way.
+func (rn runner) accountEpoch(rep *Report, res sim.Result, base []sim.Task) {
+	acct, err := account.Build(account.Input{
+		Timeline:    res.Timeline,
+		Makespan:    res.Makespan,
+		FaultEvents: res.FaultEvents,
+		Crashes:     res.Crashes,
+		Context:     res.Context,
+		Tasks:       base,
+	})
+	if err != nil {
+		rn.cfg.Obs.Registry().Counter("account.build_errors").Add(1)
+		return
+	}
+	rep.Account = acct
+	sum := acct.Bottleneck()
+	rep.Bottleneck = &sum
 }
 
 // foldFaults accumulates one epoch's injected-fault outcomes into the
@@ -154,6 +181,16 @@ func (rn runner) simulateEpoch(rep *Report, s epochSpec) float64 {
 func (rn runner) foldFaults(rep *Report, res sim.Result) {
 	rep.RequeuedTasks += res.Requeued
 	rep.FaultEvents = append(rep.FaultEvents, res.FaultEvents...)
+	if l := rn.cfg.Obs.EventLog(); l.Enabled(obs.LevelWarn) {
+		for _, fe := range res.FaultEvents {
+			l.Event(obs.LevelWarn, "fault.crash",
+				obs.Attr{Key: "consumer", Value: fe.Consumer},
+				obs.Attr{Key: "standby", Value: fe.Standby},
+				obs.Attr{Key: "task", Value: fe.Task},
+				obs.Attr{Key: "start_s", Value: fe.Start},
+				obs.Attr{Key: "at_s", Value: fe.At})
+		}
+	}
 }
 
 // gnnlabDesign is the factored space-sharing design (§4–5).
@@ -315,6 +352,13 @@ func (st *gnnlabState) reallocate(rn *runner, rep *Report, epoch int) {
 	st.alloc = alloc
 	st.dead = dead
 	rep.Reallocations++
+	if l := rn.cfg.Obs.EventLog(); l.Enabled(obs.LevelWarn) {
+		l.Event(obs.LevelWarn, "sched.reallocate",
+			obs.Attr{Key: "epoch", Value: epoch},
+			obs.Attr{Key: "dead", Value: dead},
+			obs.Attr{Key: "samplers", Value: alloc.Samplers},
+			obs.Attr{Key: "trainers", Value: alloc.Trainers})
+	}
 }
 
 // timeSharingDesign is the conventional design (DGL, T_SOTA): every GPU

@@ -9,6 +9,7 @@ import (
 	"gnnlab/internal/gen"
 	"gnnlab/internal/measure"
 	"gnnlab/internal/obs"
+	"gnnlab/internal/obs/account"
 	"gnnlab/internal/par"
 	"gnnlab/internal/rng"
 	"gnnlab/internal/sampling"
@@ -62,6 +63,15 @@ type Report struct {
 	// Timeline is the first measured epoch's per-task execution trace
 	// (only when Config.Trace is set).
 	Timeline []sim.TaskTiming
+
+	// Account is the exact time accounting of the traced epoch: the
+	// per-lane busy/idle/wait decomposition, the critical path through
+	// the task dependency graph, and the what-if capacity estimates.
+	// Set whenever Timeline is (it is a pure function of the trace), so
+	// attaching or detaching observability never changes the Report.
+	// Bottleneck is the account's one-line verdict.
+	Account    *account.Account
+	Bottleneck *account.Summary
 
 	// RequeuedTasks counts tasks that re-entered the global queue after
 	// an injected consumer crash, summed over measured epochs.
@@ -205,6 +215,12 @@ func oomPreflight(rep *Report, design Design, cfg Config, plan memPlan) bool {
 	}
 	if rep.OOM {
 		cfg.Obs.Registry().Counter("core.oom").Add(1)
+		if l := cfg.Obs.EventLog(); l.Enabled(obs.LevelError) {
+			l.Event(obs.LevelError, "core.oom",
+				obs.Attr{Key: "system", Value: rep.System},
+				obs.Attr{Key: "dataset", Value: rep.Dataset},
+				obs.Attr{Key: "reason", Value: rep.OOMReason})
+		}
 	}
 	return rep.OOM
 }
@@ -383,6 +399,33 @@ func (rn runner) observeReport(rep *Report, stats cache.Stats) {
 	reg.Histogram("core.sample_total_s").Observe(rep.SampleTotal)
 	reg.Histogram("core.extract_total_s").Observe(rep.ExtractTot)
 	reg.Histogram("core.train_total_s").Observe(rep.TrainTot)
+	if b := rep.Bottleneck; b != nil {
+		reg.Gauge("account.sample_frac").Set(b.SampleFrac)
+		reg.Gauge("account.extract_frac").Set(b.ExtractFrac)
+		reg.Gauge("account.train_frac").Set(b.TrainFrac)
+		reg.Gauge("account.stall_frac").Set(b.StallFrac)
+	}
+	if l := rn.cfg.Obs.EventLog(); l.Enabled(obs.LevelInfo) {
+		l.Event(obs.LevelInfo, "core.report",
+			obs.Attr{Key: "system", Value: rep.System},
+			obs.Attr{Key: "workload", Value: rep.Workload},
+			obs.Attr{Key: "dataset", Value: rep.Dataset},
+			obs.Attr{Key: "epoch_time_s", Value: rep.EpochTime},
+			obs.Attr{Key: "cache_ratio", Value: rep.CacheRatio},
+			obs.Attr{Key: "hit_rate", Value: rep.HitRate},
+			obs.Attr{Key: "cache_hits", Value: stats.Hits},
+			obs.Attr{Key: "cache_misses", Value: stats.Misses},
+			obs.Attr{Key: "transferred_bytes", Value: rep.TransferredBytes})
+		if b := rep.Bottleneck; b != nil {
+			l.Event(obs.LevelInfo, "core.bottleneck",
+				obs.Attr{Key: "binding", Value: b.Binding},
+				obs.Attr{Key: "makespan_s", Value: b.Makespan},
+				obs.Attr{Key: "sample_frac", Value: b.SampleFrac},
+				obs.Attr{Key: "extract_frac", Value: b.ExtractFrac},
+				obs.Attr{Key: "train_frac", Value: b.TrainFrac},
+				obs.Attr{Key: "stall_frac", Value: b.StallFrac})
+		}
+	}
 }
 
 // buildRanking produces the cache ranking for the configured policy and

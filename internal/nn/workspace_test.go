@@ -57,9 +57,9 @@ func TestNewCompactIntoMatchesNewCompact(t *testing.T) {
 func TestNewCompactIntoRejectsBadSample(t *testing.T) {
 	var c Compact
 	bad := []*sampling.Sample{
-		{Seeds: []int32{1}, Input: []int32{2}},              // input[0] != seed
-		{Seeds: []int32{1, 2}, Input: []int32{1}},           // fewer inputs than seeds
-		{Seeds: []int32{1, 2}, Input: []int32{1, 2, 2}},     // duplicate global
+		{Seeds: []int32{1}, Input: []int32{2}},          // input[0] != seed
+		{Seeds: []int32{1, 2}, Input: []int32{1}},       // fewer inputs than seeds
+		{Seeds: []int32{1, 2}, Input: []int32{1, 2, 2}}, // duplicate global
 		{Seeds: []int32{1}, Input: []int32{1, 5}, Layers: []sampling.Layer{{Src: []int32{1}, Dst: []int32{9}, NumVertices: 2}}}, // dst out of range
 	}
 	for i, s := range bad {

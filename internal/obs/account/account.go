@@ -1,0 +1,531 @@
+// Package account is the time-accounting and critical-path layer over the
+// simulation engine's traced results. It answers the paper's central
+// scheduling question — which role, Sampler or Trainer, binds epoch time
+// under a given GPU split (§5.3) — by decomposing a traced epoch three
+// ways:
+//
+//   - per lane (each Sampler GPU, each Trainer GPU, the global queue), an
+//     exact busy/aborted/dead/wait/idle partition of the makespan, so the
+//     per-lane components always sum to lanes × makespan;
+//   - along the task dependency chain, a critical path whose
+//     sample/extract/train/stall segments tile [0, makespan] end to end;
+//   - a factored what-if model that re-prices the same work under
+//     perturbed capacities (±1 GPU per role, PCIe degradation removed).
+//
+// Build is a pure function of the sim.Result fields it is given, so an
+// Account is bit-identical across worker counts and across runs — the
+// same determinism contract the rest of the pipeline keeps.
+package account
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"gnnlab/internal/sim"
+)
+
+// LaneKind classifies an accounting lane.
+type LaneKind uint8
+
+const (
+	// LaneSampler is one producer GPU's Sample stage.
+	LaneSampler LaneKind = iota
+	// LaneTrainer is one consumer GPU's Extract+Train pipeline (normal or
+	// standby).
+	LaneTrainer
+	// LaneQueue is the global task queue between the roles.
+	LaneQueue
+)
+
+// String names the lane kind for reports.
+func (k LaneKind) String() string {
+	switch k {
+	case LaneSampler:
+		return "sampler"
+	case LaneTrainer:
+		return "trainer"
+	case LaneQueue:
+		return "queue"
+	}
+	return fmt.Sprintf("lane(%d)", int(k))
+}
+
+// Lane is the time decomposition of one executor (or the queue) over an
+// epoch. The five partition components — Busy, Aborted, Dead, Wait, Idle
+// — sum to the epoch makespan (Idle is the residual, so the sum is exact
+// up to one floating-point rounding of the subtraction).
+type Lane struct {
+	Kind LaneKind
+	// Index is the role-local index: producer i, consumer i (standbys
+	// follow normal Trainers, as in sim), 0 for the queue.
+	Index   int
+	Standby bool
+	// Tasks is how many completed stage executions the lane hosted.
+	Tasks int
+
+	// Busy is the union measure of the lane's completed stage intervals:
+	// sample windows for a Sampler, Extract∪Train for a Trainer,
+	// task-in-queue time for the queue.
+	Busy float64
+	// Sample/Extract/Train are summed stage durations (not union): under
+	// pipelining Extract+Train may exceed Busy; Overlap is the difference.
+	Sample, Extract, Train, Overlap float64
+	// Aborted is occupancy lost to crash-killed in-flight attempts
+	// (incremental over Busy, so the partition stays exact).
+	Aborted float64
+	// Dead is injected crash dead-window time (incremental over
+	// Busy+Aborted).
+	Dead float64
+	// Wait is gap time while the global queue was empty — the lane was
+	// starved for samples (the Sampler-bound signal).
+	Wait float64
+	// Idle is the residual: barriers, profit-gated standby time, pipeline
+	// tail.
+	Idle float64
+}
+
+// Components returns the partition sum Busy+Aborted+Dead+Wait+Idle, which
+// the invariant tests compare against the makespan.
+func (l Lane) Components() float64 { return l.Busy + l.Aborted + l.Dead + l.Wait + l.Idle }
+
+// SegmentKind classifies a critical-path segment.
+type SegmentKind uint8
+
+const (
+	SegSample SegmentKind = iota
+	SegExtract
+	SegTrain
+	// SegStall is makespan time the dependency walk cannot attribute to a
+	// stage execution: requeue delays after a crash, dead windows, queue
+	// stalls, or scheduling gaps.
+	SegStall
+)
+
+// String names the segment kind for reports.
+func (k SegmentKind) String() string {
+	switch k {
+	case SegSample:
+		return "sample"
+	case SegExtract:
+		return "extract"
+	case SegTrain:
+		return "train"
+	case SegStall:
+		return "stall"
+	}
+	return fmt.Sprintf("segment(%d)", int(k))
+}
+
+// Segment is one contiguous span of the critical path. Segments are
+// returned in time order and tile [0, Makespan]: each segment's End is
+// the next segment's Start.
+type Segment struct {
+	Kind SegmentKind
+	// Task is the task index the segment executes, -1 for stalls.
+	Task int
+	// Lane is the role-local executor index (producer for sample,
+	// consumer for extract/train), -1 for stalls.
+	Lane       int
+	Start, End float64
+}
+
+// Dur returns the segment length.
+func (s Segment) Dur() float64 { return s.End - s.Start }
+
+// Input is everything Build needs from a traced simulation result.
+// Timeline and Makespan are required; the rest refine the attribution
+// (fault occupancy, dead windows, capacity context, base durations for
+// the degradation what-if).
+type Input struct {
+	Timeline    []sim.TaskTiming
+	Makespan    float64
+	FaultEvents []sim.FaultEvent
+	Crashes     []sim.CrashWindow
+	// Context gives the capacity configuration; the zero value derives
+	// lane counts from the timeline instead (invisible idle executors are
+	// then not accounted).
+	Context sim.Context
+	// Tasks optionally carries the un-injected stage durations, enabling
+	// the "PCIe degrade removed" what-if.
+	Tasks []sim.Task
+}
+
+// Account is the computed decomposition. All fields are finite floats —
+// it marshals cleanly and compares with reflect.DeepEqual.
+type Account struct {
+	Makespan float64
+	Context  sim.Context
+	// Lanes lists every Sampler lane, then every Trainer lane (standbys
+	// after normal Trainers), then the queue lane.
+	Lanes []Lane
+
+	// Path is the critical path in time order; PathSample etc. are its
+	// per-kind duration totals, which sum to Makespan.
+	Path                                          []Segment
+	PathSample, PathExtract, PathTrain, PathStall float64
+
+	// SampleTotal/ExtractTotal/TrainTotal are the summed *actual* stage
+	// durations across all completed tasks (slowdowns and degradation
+	// included); the Base* variants are the un-injected durations from
+	// Input.Tasks (zero when Tasks was not provided).
+	SampleTotal, ExtractTotal, TrainTotal             float64
+	BaseSampleTotal, BaseExtractTotal, BaseTrainTotal float64
+	// QueueWait is the summed per-task queue residence time
+	// Σ(ExtractStart − Ready).
+	QueueWait float64
+	// NumTasks counts completed tasks (timeline records).
+	NumTasks int
+
+	hasBase bool
+}
+
+// interval is a half-open time span used by the union/complement sweeps.
+type interval struct{ start, end float64 }
+
+// merge sorts and coalesces intervals into a disjoint ascending list,
+// dropping empty ones.
+func merge(ivs []interval) []interval {
+	out := make([]interval, 0, len(ivs))
+	for _, iv := range ivs {
+		if iv.end > iv.start {
+			out = append(out, iv)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].start != out[b].start {
+			return out[a].start < out[b].start
+		}
+		return out[a].end < out[b].end
+	})
+	w := 0
+	for _, iv := range out {
+		if w > 0 && iv.start <= out[w-1].end {
+			if iv.end > out[w-1].end {
+				out[w-1].end = iv.end
+			}
+			continue
+		}
+		out[w] = iv
+		w++
+	}
+	return out[:w]
+}
+
+// measure returns the total length of a disjoint interval list.
+func measure(ivs []interval) float64 {
+	var m float64
+	for _, iv := range ivs {
+		m += iv.end - iv.start
+	}
+	return m
+}
+
+// complement returns [lo, hi] minus a disjoint ascending interval list.
+func complement(ivs []interval, lo, hi float64) []interval {
+	var out []interval
+	t := lo
+	for _, iv := range ivs {
+		s, e := math.Max(iv.start, lo), math.Min(iv.end, hi)
+		if e <= s {
+			continue
+		}
+		if s > t {
+			out = append(out, interval{t, s})
+		}
+		if e > t {
+			t = e
+		}
+	}
+	if hi > t {
+		out = append(out, interval{t, hi})
+	}
+	return out
+}
+
+// measureIntersect returns the measure of the intersection of two
+// disjoint ascending interval lists.
+func measureIntersect(a, b []interval) float64 {
+	var m float64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := math.Max(a[i].start, b[j].start)
+		hi := math.Min(a[i].end, b[j].end)
+		if hi > lo {
+			m += hi - lo
+		}
+		if a[i].end < b[j].end {
+			i++
+		} else {
+			j++
+		}
+	}
+	return m
+}
+
+// deriveContext reconstructs lane counts from a timeline when the caller
+// did not supply a sim.Context (e.g. hand-built timelines). Executors
+// that never ran a task are invisible and therefore not derived.
+func deriveContext(recs []sim.TaskTiming) sim.Context {
+	var ctx sim.Context
+	maxNormal, maxStandby := -1, -1
+	for i := range recs {
+		r := &recs[i]
+		if r.SampleEnd > r.SampleStart && r.Producer+1 > ctx.Producers {
+			ctx.Producers = r.Producer + 1
+		}
+		if r.Standby {
+			if r.Consumer > maxStandby {
+				maxStandby = r.Consumer
+			}
+		} else if r.Consumer > maxNormal {
+			maxNormal = r.Consumer
+		}
+	}
+	ctx.Trainers = maxNormal + 1
+	if maxStandby >= 0 {
+		ctx.Standbys = maxStandby + 1 - ctx.Trainers
+		if ctx.Standbys < 0 {
+			ctx.Standbys = 0
+		}
+	}
+	// Pipelined shows up as a consumer starting an Extract before its
+	// previous Train finished.
+	perConsumer := map[int][]interval{}
+	for i := range recs {
+		r := &recs[i]
+		perConsumer[r.Consumer] = append(perConsumer[r.Consumer], interval{r.ExtractStart, r.TrainEnd})
+	}
+	for _, ivs := range perConsumer {
+		sort.Slice(ivs, func(a, b int) bool { return ivs[a].start < ivs[b].start })
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].start < ivs[i-1].end-1e-12 {
+				ctx.Pipelined = true
+			}
+		}
+	}
+	return ctx
+}
+
+// Build computes the full decomposition for one traced epoch. It errors
+// when the timeline is empty (accounting requires ConsumeOptions.Trace)
+// or the makespan disagrees with the timeline's last completion.
+func Build(in Input) (*Account, error) {
+	if len(in.Timeline) == 0 {
+		return nil, errors.New("account: empty timeline (run the simulation with Trace enabled)")
+	}
+	recs := in.Timeline
+	maxEnd := 0.0
+	for i := range recs {
+		if recs[i].TrainEnd > maxEnd {
+			maxEnd = recs[i].TrainEnd
+		}
+	}
+	M := in.Makespan
+	if M == 0 {
+		M = maxEnd
+	}
+	eps := 1e-9 * math.Max(1, M)
+	if math.Abs(M-maxEnd) > eps {
+		return nil, fmt.Errorf("account: makespan %g disagrees with timeline last completion %g", M, maxEnd)
+	}
+	ctx := in.Context
+	if ctx == (sim.Context{}) {
+		ctx = deriveContext(recs)
+	}
+
+	a := &Account{
+		Makespan: M,
+		Context:  ctx,
+		NumTasks: len(recs),
+		hasBase:  len(in.Tasks) > 0,
+	}
+	for i := range in.Tasks {
+		t := &in.Tasks[i]
+		a.BaseSampleTotal += t.Sample
+		a.BaseExtractTotal += t.Extract
+		a.BaseTrainTotal += t.Train
+	}
+
+	// A requeued task's timeline record carries a rewritten Ready (the
+	// crash time), so its sample window is a back-dated fabrication: the
+	// *duration* is right but the placement is not. Keep the duration in
+	// the totals, skip the window for lane placement.
+	requeued := make(map[int]bool, len(in.FaultEvents))
+	for _, fe := range in.FaultEvents {
+		requeued[fe.Task] = true
+	}
+
+	// Queue occupancy: the queue is non-empty while any task sits between
+	// Ready and its ExtractStart.
+	var queueIvs []interval
+	for i := range recs {
+		r := &recs[i]
+		if r.ExtractStart > r.Ready {
+			queueIvs = append(queueIvs, interval{r.Ready, r.ExtractStart})
+			a.QueueWait += r.ExtractStart - r.Ready
+		}
+	}
+	queueBusy := merge(queueIvs)
+	queueEmpty := complement(queueBusy, 0, M)
+
+	// Sampler lanes.
+	numProducers := ctx.Producers
+	prodIvs := make([][]interval, numProducers)
+	prodSample := make([]float64, numProducers)
+	prodTasks := make([]int, numProducers)
+	for i := range recs {
+		r := &recs[i]
+		d := r.SampleEnd - r.SampleStart
+		if d <= 0 {
+			continue
+		}
+		a.SampleTotal += d
+		if requeued[r.Task] || r.Producer >= numProducers {
+			continue
+		}
+		prodIvs[r.Producer] = append(prodIvs[r.Producer], interval{r.SampleStart, r.SampleEnd})
+		prodSample[r.Producer] += d
+		prodTasks[r.Producer]++
+	}
+	for p := 0; p < numProducers; p++ {
+		busy := measure(merge(prodIvs[p]))
+		a.Lanes = append(a.Lanes, Lane{
+			Kind:   LaneSampler,
+			Index:  p,
+			Tasks:  prodTasks[p],
+			Busy:   busy,
+			Sample: prodSample[p],
+			Idle:   M - busy,
+		})
+	}
+
+	// Trainer lanes (normal then standby, matching sim's consumer index
+	// space).
+	numConsumers := ctx.Trainers + ctx.Standbys
+	type consumerAcc struct {
+		completed []interval
+		extract   float64
+		train     float64
+		tasks     int
+	}
+	cons := make([]consumerAcc, numConsumers)
+	for i := range recs {
+		r := &recs[i]
+		if r.Consumer < 0 || r.Consumer >= numConsumers {
+			continue
+		}
+		c := &cons[r.Consumer]
+		c.completed = append(c.completed, interval{r.ExtractStart, r.ExtractEnd}, interval{r.TrainStart, r.TrainEnd})
+		c.extract += r.ExtractEnd - r.ExtractStart
+		c.train += r.TrainEnd - r.TrainStart
+		c.tasks++
+		a.ExtractTotal += r.ExtractEnd - r.ExtractStart
+		a.TrainTotal += r.TrainEnd - r.TrainStart
+	}
+	abortedIvs := make([][]interval, numConsumers)
+	for _, fe := range in.FaultEvents {
+		if fe.Consumer < 0 || fe.Consumer >= numConsumers {
+			continue
+		}
+		abortedIvs[fe.Consumer] = append(abortedIvs[fe.Consumer], interval{fe.Start, fe.At})
+	}
+	deadIvs := make([][]interval, numConsumers)
+	for _, cw := range in.Crashes {
+		if cw.Consumer < 0 || cw.Consumer >= numConsumers {
+			continue
+		}
+		s, e := math.Max(cw.Start, 0), math.Min(cw.End, M)
+		if e > s {
+			deadIvs[cw.Consumer] = append(deadIvs[cw.Consumer], interval{s, e})
+		}
+	}
+	for ci := 0; ci < numConsumers; ci++ {
+		c := &cons[ci]
+		busyIvs := merge(c.completed)
+		busy := measure(busyIvs)
+		// Each wider union is measured incrementally so the components
+		// partition the makespan even where intervals overlap (a
+		// pipelined abort can overlap a completed train).
+		withAborted := merge(append(append([]interval(nil), busyIvs...), abortedIvs[ci]...))
+		aborted := measure(withAborted) - busy
+		withDead := merge(append(append([]interval(nil), withAborted...), deadIvs[ci]...))
+		dead := measure(withDead) - measure(withAborted)
+		gaps := complement(withDead, 0, M)
+		wait := measureIntersect(gaps, queueEmpty)
+		idle := measure(gaps) - wait
+		a.Lanes = append(a.Lanes, Lane{
+			Kind:    LaneTrainer,
+			Index:   ci,
+			Standby: ci >= ctx.Trainers,
+			Tasks:   c.tasks,
+			Busy:    busy,
+			Extract: c.extract,
+			Train:   c.train,
+			Overlap: c.extract + c.train - busy,
+			Aborted: aborted,
+			Dead:    dead,
+			Wait:    wait,
+			Idle:    idle,
+		})
+	}
+
+	// Queue lane.
+	qb := measure(queueBusy)
+	a.Lanes = append(a.Lanes, Lane{
+		Kind:  LaneQueue,
+		Tasks: len(recs),
+		Busy:  qb,
+		Idle:  M - qb,
+	})
+
+	a.buildPath(in, eps)
+	return a, nil
+}
+
+// CheckInvariants verifies the decomposition's accounting identities: no
+// negative component, every lane's partition sums to the makespan, and
+// the critical path tiles exactly [0, makespan]. A nil error is the
+// "provably sums to lanes × makespan" guarantee, up to a 1e-9 relative
+// epsilon (floating-point residuals make bitwise equality impossible).
+func (a *Account) CheckInvariants() error {
+	eps := 1e-9 * math.Max(1, a.Makespan)
+	for _, l := range a.Lanes {
+		for _, c := range []struct {
+			name string
+			v    float64
+		}{
+			{"busy", l.Busy}, {"aborted", l.Aborted}, {"dead", l.Dead},
+			{"wait", l.Wait}, {"idle", l.Idle}, {"overlap", l.Overlap},
+		} {
+			if c.v < -eps {
+				return fmt.Errorf("account: %s %d: negative %s %g", l.Kind, l.Index, c.name, c.v)
+			}
+		}
+		if d := math.Abs(l.Components() - a.Makespan); d > eps {
+			return fmt.Errorf("account: %s %d: components sum %g != makespan %g (Δ %g)",
+				l.Kind, l.Index, l.Components(), a.Makespan, d)
+		}
+	}
+	var path float64
+	prev := 0.0
+	for i, s := range a.Path {
+		if s.End < s.Start-eps {
+			return fmt.Errorf("account: path segment %d inverted: [%g, %g]", i, s.Start, s.End)
+		}
+		if math.Abs(s.Start-prev) > eps {
+			return fmt.Errorf("account: path segment %d starts at %g, previous ended at %g", i, s.Start, prev)
+		}
+		path += s.Dur()
+		prev = s.End
+	}
+	if d := math.Abs(path - a.Makespan); d > eps {
+		return fmt.Errorf("account: critical path length %g != makespan %g (Δ %g)", path, a.Makespan, d)
+	}
+	if d := math.Abs((a.PathSample + a.PathExtract + a.PathTrain + a.PathStall) - a.Makespan); d > eps {
+		return fmt.Errorf("account: path kind totals sum %g != makespan %g",
+			a.PathSample+a.PathExtract+a.PathTrain+a.PathStall, a.Makespan)
+	}
+	return nil
+}

@@ -1,0 +1,326 @@
+package account_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gnnlab/internal/obs/account"
+	"gnnlab/internal/sim"
+)
+
+// The generators mirror the sim invariants suite so the accounting layer
+// is exercised on exactly the scenario family the engine's own
+// invariants hold on: seeded random tasks, mixed trainer slowdowns, and
+// a fault set with permanent/transient crashes, slowdown windows, PCIe
+// degradation and queue stalls.
+
+func randomTasks(r *rand.Rand, n int) []sim.Task {
+	tasks := make([]sim.Task, n)
+	for i := range tasks {
+		tasks[i] = sim.Task{
+			Sample:  0.5 + r.Float64(),
+			Extract: 0.2 + 0.6*r.Float64(),
+			Train:   0.3 + 0.9*r.Float64(),
+		}
+		if r.Intn(3) == 0 {
+			tasks[i].StandbyExtract = tasks[i].Extract * (1 + r.Float64())
+		}
+	}
+	return tasks
+}
+
+func randomFaults(r *rand.Rand, consumers int, horizon float64) *sim.Faults {
+	f := &sim.Faults{}
+	for ci := 0; ci < consumers; ci++ {
+		switch r.Intn(4) {
+		case 0: // permanent crash (consumer 0 must survive)
+			if ci == 0 {
+				continue
+			}
+			f.Crashes = append(f.Crashes, sim.Crash{Consumer: ci, At: horizon * r.Float64()})
+		case 1: // transient crash
+			at := horizon * r.Float64()
+			f.Crashes = append(f.Crashes, sim.Crash{Consumer: ci, At: at, RecoverAt: at + horizon/4*r.Float64()})
+		case 2: // slowdown window
+			start := horizon * r.Float64()
+			f.Slowdowns = append(f.Slowdowns, sim.ConsumerWindow{
+				Consumer: ci,
+				Window:   sim.Window{Start: start, End: start + horizon/3, Factor: 1.5 + 2*r.Float64()},
+			})
+		}
+	}
+	start := horizon / 4
+	f.ExtractDegrade = append(f.ExtractDegrade, sim.Window{Start: start, End: start + horizon/5, Factor: 2})
+	f.QueueStalls = append(f.QueueStalls, sim.Window{Start: horizon / 2, End: horizon/2 + horizon/10})
+	return f
+}
+
+// scenario runs one seeded epoch: 2 producers, the requested consumer
+// shape, optional standby switching, optional faults.
+func scenario(seed int64, numTrainers int, sync, pipelined, standby, faults bool) ([]sim.Task, sim.Result) {
+	r := rand.New(rand.NewSource(seed))
+	tasks := randomTasks(r, 40)
+	opts := sim.ConsumeOptions{
+		NumTrainers:     numTrainers,
+		Sync:            sync,
+		Pipelined:       pipelined,
+		TrainerSlowdown: []float64{2, 0.5},
+		TrainerTaskTime: 1,
+		StandbyTaskTime: 1.5,
+		Trace:           true,
+	}
+	if standby {
+		opts.StandbyAvailable = []sim.Seconds{}
+	}
+	var total float64
+	for _, t := range tasks {
+		total += t.Extract + t.Train
+	}
+	if faults {
+		opts.Faults = randomFaults(r, numTrainers, total/float64(numTrainers))
+	}
+	res := sim.RunEpoch(tasks, 2, opts)
+	return tasks, res
+}
+
+func buildFrom(t *testing.T, tasks []sim.Task, res sim.Result) *account.Account {
+	t.Helper()
+	acct, err := account.Build(account.Input{
+		Timeline:    res.Timeline,
+		Makespan:    res.Makespan,
+		FaultEvents: res.FaultEvents,
+		Crashes:     res.Crashes,
+		Context:     res.Context,
+		Tasks:       tasks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acct
+}
+
+// forEachScenario sweeps the full scenario grid.
+func forEachScenario(t *testing.T, fn func(t *testing.T, seed int64, tasks []sim.Task, res sim.Result)) {
+	t.Helper()
+	for seed := int64(0); seed < 8; seed++ {
+		for _, trainers := range []int{1, 2, 4} {
+			for _, sync := range []bool{false, true} {
+				for _, pipelined := range []bool{false, true} {
+					for _, standby := range []bool{false, true} {
+						for _, faults := range []bool{false, true} {
+							tasks, res := scenario(seed, trainers, sync, pipelined, standby, faults)
+							fn(t, seed, tasks, res)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDecompositionSumsToLanesTimesMakespan(t *testing.T) {
+	forEachScenario(t, func(t *testing.T, seed int64, tasks []sim.Task, res sim.Result) {
+		acct := buildFrom(t, tasks, res)
+		if err := acct.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d ctx %+v: %v", seed, res.Context, err)
+		}
+		var sum float64
+		for _, l := range acct.Lanes {
+			sum += l.Components()
+		}
+		want := float64(len(acct.Lanes)) * res.Makespan
+		if eps := 1e-9 * math.Max(1, want); math.Abs(sum-want) > eps {
+			t.Fatalf("seed %d: lane components sum %v != lanes×makespan %v", seed, sum, want)
+		}
+	})
+}
+
+func TestCriticalPathEqualsMakespan(t *testing.T) {
+	forEachScenario(t, func(t *testing.T, seed int64, tasks []sim.Task, res sim.Result) {
+		acct := buildFrom(t, tasks, res)
+		got := acct.PathSample + acct.PathExtract + acct.PathTrain + acct.PathStall
+		if eps := 1e-9 * math.Max(1, res.Makespan); math.Abs(got-res.Makespan) > eps {
+			t.Fatalf("seed %d ctx %+v: critical path %v != makespan %v", seed, res.Context, got, res.Makespan)
+		}
+		if len(acct.Path) == 0 {
+			t.Fatalf("seed %d: empty critical path", seed)
+		}
+		last := acct.Path[len(acct.Path)-1]
+		if math.Abs(last.End-res.Makespan) > 1e-9*math.Max(1, res.Makespan) {
+			t.Fatalf("seed %d: path ends at %v, makespan %v", seed, last.End, res.Makespan)
+		}
+	})
+}
+
+// The engine's own TrainerBusy counter (actual scaled durations plus
+// aborted occupancy) must agree with the account's per-lane stage sums —
+// a differential check that the decomposition reads the same run the
+// engine accumulated.
+func TestLaneStagesMatchTrainerBusy(t *testing.T) {
+	forEachScenario(t, func(t *testing.T, seed int64, tasks []sim.Task, res sim.Result) {
+		acct := buildFrom(t, tasks, res)
+		lost := make([]float64, len(res.TrainerBusy))
+		for _, fe := range res.FaultEvents {
+			if !fe.Standby && fe.Consumer < len(lost) {
+				lost[fe.Consumer] += fe.At - fe.Start
+			}
+		}
+		for _, l := range acct.Lanes {
+			if l.Kind != account.LaneTrainer || l.Standby || l.Index >= len(res.TrainerBusy) {
+				continue
+			}
+			got := l.Extract + l.Train + lost[l.Index]
+			want := res.TrainerBusy[l.Index]
+			if eps := 1e-9 * math.Max(1, want); math.Abs(got-want) > eps {
+				t.Fatalf("seed %d trainer %d: extract+train+aborted %v != TrainerBusy %v",
+					seed, l.Index, got, want)
+			}
+		}
+	})
+}
+
+func TestBuildIsDeterministic(t *testing.T) {
+	tasksA, resA := scenario(3, 2, true, true, true, true)
+	tasksB, resB := scenario(3, 2, true, true, true, true)
+	a := buildFrom(t, tasksA, resA)
+	b := buildFrom(t, tasksB, resB)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical scenarios produced different accounts")
+	}
+	var bufA, bufB bytes.Buffer
+	if err := a.WriteReport(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteReport(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("identical accounts rendered different reports")
+	}
+}
+
+func TestDerivedContextMatchesSimContext(t *testing.T) {
+	tasks, res := scenario(5, 3, false, true, false, false)
+	withCtx := buildFrom(t, tasks, res)
+	noCtx, err := account.Build(account.Input{
+		Timeline: res.Timeline,
+		Makespan: res.Makespan,
+		Tasks:    tasks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := noCtx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	d, s := noCtx.Context, withCtx.Context
+	if d.Producers != s.Producers || d.Trainers != s.Trainers || d.Pipelined != s.Pipelined {
+		t.Fatalf("derived context %+v disagrees with sim context %+v", d, s)
+	}
+}
+
+func TestWhatIfMonotoneInTrainers(t *testing.T) {
+	tasks, res := scenario(1, 2, false, false, false, false)
+	acct := buildFrom(t, tasks, res)
+	prev := math.Inf(1)
+	for trainers := 1; trainers <= 8; trainers++ {
+		est, ok := acct.Estimate(res.Context.Producers, trainers)
+		if !ok {
+			t.Fatalf("estimate with %d trainers not ok", trainers)
+		}
+		if est > prev+1e-9 {
+			t.Fatalf("estimate not monotone: %d trainers -> %v, %d -> %v", trainers-1, prev, trainers, est)
+		}
+		prev = est
+	}
+	if _, ok := acct.Estimate(2, 0); ok {
+		t.Fatal("zero-trainer estimate should be rejected")
+	}
+	samplerPrev := math.Inf(1)
+	for samplers := 1; samplers <= 8; samplers++ {
+		est, ok := acct.Estimate(samplers, res.Context.Trainers)
+		if !ok {
+			t.Fatalf("estimate with %d samplers not ok", samplers)
+		}
+		if est > samplerPrev+1e-9 {
+			t.Fatalf("estimate not monotone in samplers: %v then %v", samplerPrev, est)
+		}
+		samplerPrev = est
+	}
+}
+
+func TestWhatIfRowsIncludeCurrentAndDegrade(t *testing.T) {
+	tasks, res := scenario(2, 2, false, true, false, true)
+	acct := buildFrom(t, tasks, res)
+	rows := acct.WhatIf()
+	if len(rows) == 0 {
+		t.Fatal("no what-if rows")
+	}
+	if !rows[0].Current {
+		t.Fatalf("first row is not the current configuration: %+v", rows[0])
+	}
+	sawDegrade := false
+	for _, r := range rows {
+		if strings.Contains(r.Label, "no-degrade") {
+			sawDegrade = true
+			if cur := rows[0].Estimated; r.Estimated > cur+1e-9 {
+				t.Fatalf("removing degradation should not slow the estimate: %v > %v", r.Estimated, cur)
+			}
+		}
+	}
+	if !sawDegrade {
+		t.Fatal("no no-degrade row despite base tasks being provided")
+	}
+}
+
+func TestBottleneckBinding(t *testing.T) {
+	run := func(sample, extract, train float64) account.Summary {
+		tasks := make([]sim.Task, 12)
+		for i := range tasks {
+			tasks[i] = sim.Task{Sample: sample, Extract: extract, Train: train}
+		}
+		res := sim.RunEpoch(tasks, 1, sim.ConsumeOptions{NumTrainers: 2, Trace: true})
+		acct := buildFrom(t, tasks, res)
+		return acct.Bottleneck()
+	}
+	if got := run(10, 0.1, 0.1); got.Binding != "sampler-bound" {
+		t.Fatalf("sampler-heavy epoch classified %q (%+v)", got.Binding, got)
+	}
+	if got := run(0.1, 1, 2); got.Binding != "trainer-bound" {
+		t.Fatalf("trainer-heavy epoch classified %q (%+v)", got.Binding, got)
+	}
+}
+
+func TestStallBoundUnderQueueStall(t *testing.T) {
+	tasks := []sim.Task{{Extract: 1, Train: 1}}
+	res := sim.Consume(tasks, sim.ConsumeOptions{
+		NumTrainers: 1,
+		Trace:       true,
+		Faults:      &sim.Faults{QueueStalls: []sim.Window{{Start: 0, End: 3}}},
+	})
+	acct := buildFrom(t, tasks, res)
+	if err := acct.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := acct.Bottleneck(); got.Binding != "stall-bound" {
+		t.Fatalf("stalled epoch classified %q (%+v)", got.Binding, got)
+	}
+	if math.Abs(acct.PathStall-3) > 1e-9 {
+		t.Fatalf("stall path time %v, want 3", acct.PathStall)
+	}
+}
+
+func TestBuildRejectsEmptyTimeline(t *testing.T) {
+	if _, err := account.Build(account.Input{Makespan: 1}); err == nil {
+		t.Fatal("empty timeline accepted")
+	}
+	tasks := []sim.Task{{Extract: 1, Train: 1}}
+	res := sim.Consume(tasks, sim.ConsumeOptions{NumTrainers: 1, Trace: true})
+	if _, err := account.Build(account.Input{Timeline: res.Timeline, Makespan: res.Makespan * 2}); err == nil {
+		t.Fatal("mismatched makespan accepted")
+	}
+}

@@ -1,0 +1,289 @@
+package account
+
+import (
+	"math"
+
+	"gnnlab/internal/sim"
+)
+
+// Critical-path extraction: a backward walk over the task dependency
+// chain from the epoch's last completion to time zero. At every step the
+// walk sits at a time t explained by the END of some stage execution; it
+// emits that stage as a segment and then asks what the stage's START was
+// waiting on:
+//
+//	train start  ← own Extract end (serial handoff), the same consumer's
+//	               previous Train end (train unit busy), or any consumer's
+//	               Train end (sync barrier);
+//	extract start← the task's Ready time (queue was the constraint: follow
+//	               the Sample chain, or the requeue stall after a crash),
+//	               the same consumer's previous Extract end (pipelined) or
+//	               Train end (serial), or any Sample end (standby joined);
+//	sample start ← the same producer's previous Sample end.
+//
+// When no rule explains t (dead windows, queue stalls, profit-gated
+// standby waits), the walk emits a stall segment down to the nearest
+// earlier stage-end anchor and resumes there. Segments are contiguous by
+// construction — each segment's Start becomes the next emission's End —
+// so the path tiles [0, makespan] and its length telescopes to the
+// makespan no matter which rules fired.
+
+// walk stages: the kind of stage end the walk is currently standing on.
+const (
+	stTrain = iota
+	stExtract
+	stSample
+)
+
+type pathKey struct {
+	rec   int
+	stage int
+}
+
+// buildPath fills a.Path and the per-kind totals.
+func (a *Account) buildPath(in Input, eps float64) {
+	recs := in.Timeline
+	approx := func(x, y float64) bool { return math.Abs(x-y) <= eps }
+
+	// The final requeue event per task: a task whose Ready was rewritten
+	// to a crash time is explained through the aborted attempt.
+	requeueOf := make(map[int]sim.FaultEvent, len(in.FaultEvents))
+	for _, fe := range in.FaultEvents {
+		requeueOf[fe.Task] = fe // later events overwrite earlier ones
+	}
+
+	// find locates a record whose given stage ends ≈ t; prefer the lowest
+	// index for determinism. filter limits the scan (same consumer, same
+	// producer, or everything).
+	const (
+		scanAll = iota
+		scanConsumer
+		scanProducer
+	)
+	find := func(stage, filter, who, exclude int, t float64) int {
+		for i := range recs {
+			if i == exclude {
+				continue
+			}
+			r := &recs[i]
+			switch filter {
+			case scanConsumer:
+				if r.Consumer != who {
+					continue
+				}
+			case scanProducer:
+				if !(r.SampleEnd > r.SampleStart) || r.Producer != who {
+					continue
+				}
+			}
+			var end float64
+			switch stage {
+			case stTrain:
+				end = r.TrainEnd
+			case stExtract:
+				end = r.ExtractEnd
+			case stSample:
+				if !(r.SampleEnd > r.SampleStart) {
+					continue
+				}
+				end = r.SampleEnd
+			}
+			if approx(end, t) {
+				return i
+			}
+		}
+		return -1
+	}
+
+	// anchorBelow returns the largest stage-end time strictly below t and
+	// a (rec, stage) standing on it; (0, -1, -1) when none exists.
+	anchorBelow := func(t float64) (float64, int, int) {
+		bestT, bestRec, bestStage := 0.0, -1, -1
+		consider := func(end float64, rec, stage int) {
+			if end < t-eps && end > bestT {
+				bestT, bestRec, bestStage = end, rec, stage
+			}
+		}
+		for i := range recs {
+			r := &recs[i]
+			consider(r.TrainEnd, i, stTrain)
+			consider(r.ExtractEnd, i, stExtract)
+			if r.SampleEnd > r.SampleStart {
+				consider(r.SampleEnd, i, stSample)
+			}
+		}
+		return bestT, bestRec, bestStage
+	}
+
+	var segs []Segment
+	emit := func(kind SegmentKind, task, lane int, start, t float64) float64 {
+		if start > t {
+			start = t
+		}
+		if start < 0 {
+			start = 0
+		}
+		segs = append(segs, Segment{Kind: kind, Task: task, Lane: lane, Start: start, End: t})
+		return start
+	}
+
+	// Start at the record that finishes the epoch.
+	cur := 0
+	for i := range recs {
+		if recs[i].TrainEnd > recs[cur].TrainEnd {
+			cur = i
+		}
+	}
+	t := a.Makespan
+	stage := stTrain
+	visited := make(map[pathKey]bool, 2*len(recs))
+
+	// stall drops the walk to the nearest earlier anchor; returns false
+	// when the remaining [0, t] is one terminal stall.
+	stall := func() bool {
+		at, rec, st := anchorBelow(t)
+		if rec < 0 {
+			t = emit(SegStall, -1, -1, 0, t)
+			return false
+		}
+		t = emit(SegStall, -1, -1, at, t)
+		cur, stage = rec, st
+		return true
+	}
+
+	maxSteps := 6*len(recs) + 16
+	for step := 0; t > eps && step < maxSteps; step++ {
+		k := pathKey{cur, stage}
+		if visited[k] {
+			if !stall() {
+				break
+			}
+			continue
+		}
+		visited[k] = true
+		r := &recs[cur]
+
+		switch stage {
+		case stTrain:
+			t = emit(SegTrain, r.Task, r.Consumer, r.TrainStart, t)
+			if t <= eps {
+				break
+			}
+			if approx(t, r.ExtractEnd) {
+				stage = stExtract
+				continue
+			}
+			if j := find(stTrain, scanConsumer, r.Consumer, cur, t); j >= 0 {
+				cur = j
+				continue
+			}
+			// Sync barrier: the round closed when the slowest consumer's
+			// train ended.
+			if j := find(stTrain, scanAll, 0, cur, t); j >= 0 {
+				cur = j
+				continue
+			}
+			if !stall() {
+				break
+			}
+
+		case stExtract:
+			t = emit(SegExtract, r.Task, r.Consumer, r.ExtractStart, t)
+			if t <= eps {
+				break
+			}
+			if approx(t, r.Ready) {
+				// The queue was the constraint: the task arrived exactly
+				// when the consumer took it.
+				if fe, ok := requeueOf[r.Task]; ok && approx(t, fe.At) {
+					// Requeued after a crash: the delay from the aborted
+					// attempt's start to the requeue is fault stall.
+					t = emit(SegStall, r.Task, fe.Consumer, fe.Start, t)
+					if t <= eps {
+						break
+					}
+					if j := find(stExtract, scanAll, 0, -1, t); j >= 0 {
+						cur, stage = j, stExtract
+						continue
+					}
+					if j := find(stSample, scanAll, 0, -1, t); j >= 0 {
+						cur, stage = j, stSample
+						continue
+					}
+					if !stall() {
+						break
+					}
+					continue
+				}
+				if !requeued(requeueOf, r.Task) && r.SampleEnd > r.SampleStart && approx(t, r.SampleEnd) {
+					stage = stSample
+					continue
+				}
+				if !stall() {
+					break
+				}
+				continue
+			}
+			// The consumer was the constraint: its units freed at t.
+			if j := find(stExtract, scanConsumer, r.Consumer, cur, t); j >= 0 {
+				cur, stage = j, stExtract
+				continue
+			}
+			if j := find(stTrain, scanConsumer, r.Consumer, cur, t); j >= 0 {
+				cur, stage = j, stTrain
+				continue
+			}
+			// A standby consumer joining: its producer's last sample ended
+			// at t.
+			if j := find(stSample, scanAll, 0, cur, t); j >= 0 {
+				cur, stage = j, stSample
+				continue
+			}
+			if !stall() {
+				break
+			}
+
+		case stSample:
+			t = emit(SegSample, r.Task, r.Producer, r.SampleStart, t)
+			if t <= eps {
+				break
+			}
+			if j := find(stSample, scanProducer, r.Producer, cur, t); j >= 0 {
+				cur = j
+				continue
+			}
+			if !stall() {
+				break
+			}
+		}
+	}
+	if t > eps {
+		// Step cap or terminal stall: close the tiling down to zero.
+		emit(SegStall, -1, -1, 0, t)
+	}
+
+	// The walk ran backward; present the path forward.
+	for i, j := 0, len(segs)-1; i < j; i, j = i+1, j-1 {
+		segs[i], segs[j] = segs[j], segs[i]
+	}
+	a.Path = segs
+	for _, s := range segs {
+		switch s.Kind {
+		case SegSample:
+			a.PathSample += s.Dur()
+		case SegExtract:
+			a.PathExtract += s.Dur()
+		case SegTrain:
+			a.PathTrain += s.Dur()
+		case SegStall:
+			a.PathStall += s.Dur()
+		}
+	}
+}
+
+// requeued reports whether the task's timeline record is a post-crash
+// re-execution (its sample window is fabricated).
+func requeued(m map[int]sim.FaultEvent, task int) bool {
+	_, ok := m[task]
+	return ok
+}

@@ -1,0 +1,237 @@
+package account
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"gnnlab/internal/sched"
+)
+
+// The what-if model re-prices the epoch's measured work under perturbed
+// capacities. It is deliberately factored, not a re-simulation: total
+// stage work is divided across the hypothetical lane counts, plus one
+// pipeline-fill term, and the makespan estimate is the binding role's
+// bound. That makes the estimates monotone in each capacity and directly
+// comparable across the ±1 scenarios — the shape of the answer the §5.3
+// allocation formula needs, at the cost of ignoring second-order queue
+// dynamics (which the lane table reports exactly instead).
+
+// Scenario is one what-if row: the perturbed capacity and the model's
+// epoch-time estimate.
+type Scenario struct {
+	Label              string
+	Samplers, Trainers int
+	Estimated          float64
+	// Current marks the unperturbed configuration's row.
+	Current bool
+}
+
+// effectiveTrainers is the consumer capacity the model divides work
+// across: the normal Trainer count, or the standby count when the run
+// had no normal Trainers at all (single-GPU standby mode).
+func (a *Account) effectiveTrainers() int {
+	if a.Context.Trainers > 0 {
+		return a.Context.Trainers
+	}
+	return a.Context.Standbys
+}
+
+// Estimate prices the epoch's work under S samplers and T trainers,
+// using the actual (injected) stage totals. ok is false when the
+// configuration cannot run (no trainer capacity).
+func (a *Account) Estimate(samplers, trainers int) (float64, bool) {
+	return a.estimate(samplers, trainers, a.SampleTotal, a.ExtractTotal, a.TrainTotal)
+}
+
+// EstimateWithoutDegrade prices the current split with the un-injected
+// Extract durations — "PCIe degradation removed". Only the Extract side
+// is swapped (degradation windows stretch the host→GPU feature path;
+// Train keeps its actual durations, speedups included), and only
+// downward: base Extract above the actual total would mean no
+// degradation was in effect. ok is false when Build was not given the
+// base Tasks.
+func (a *Account) EstimateWithoutDegrade() (float64, bool) {
+	if !a.hasBase {
+		return 0, false
+	}
+	extract := math.Min(a.BaseExtractTotal, a.ExtractTotal)
+	est, ok := a.estimate(a.Context.Producers, a.effectiveTrainers(),
+		a.SampleTotal, extract, a.TrainTotal)
+	return est, ok
+}
+
+func (a *Account) estimate(samplers, trainers int, sample, extract, train float64) (float64, bool) {
+	if trainers <= 0 {
+		return 0, false
+	}
+	n := float64(a.NumTasks)
+	if n == 0 {
+		return 0, false
+	}
+	T := float64(trainers)
+	var consumerBound float64
+	if a.Context.Pipelined {
+		// Pipelined consumers hide the shorter stage behind the longer
+		// one, except for one task's pipeline fill.
+		hi, lo := extract, train
+		if lo > hi {
+			hi, lo = lo, hi
+		}
+		consumerBound = hi/T + lo/n
+	} else {
+		consumerBound = (extract + train) / T
+	}
+	if samplers <= 0 || sample == 0 {
+		// Pre-staged tasks (or a what-if with no samplers priced): the
+		// consumers are the whole pipeline.
+		return consumerBound, true
+	}
+	sampleBound := sample / float64(samplers)
+	meanSample := sample / n
+	meanTask := (extract + train) / n
+	// Whichever role binds, the other contributes one task's worth of
+	// fill at the boundary.
+	return math.Max(sampleBound+meanTask, meanSample+consumerBound), true
+}
+
+// WhatIf returns the factored capacity scenarios: the current split,
+// every runnable ±1-GPU perturbation per role, and (when base durations
+// are available) the current split with PCIe degradation removed.
+// Rows are ordered current-first, then by label for determinism.
+func (a *Account) WhatIf() []Scenario {
+	S, T := a.Context.Producers, a.effectiveTrainers()
+	alloc := sched.Allocation{Samplers: S, Trainers: T}
+	var rows []Scenario
+	if est, ok := a.Estimate(S, T); ok {
+		rows = append(rows, Scenario{
+			Label: alloc.String() + " (current)", Samplers: S, Trainers: T,
+			Estimated: est, Current: true,
+		})
+	}
+	for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+		p, ok := alloc.Perturb(d[0], d[1])
+		if !ok {
+			continue
+		}
+		est, ok := a.Estimate(p.Samplers, p.Trainers)
+		if !ok {
+			continue
+		}
+		rows = append(rows, Scenario{Label: p.String(), Samplers: p.Samplers, Trainers: p.Trainers, Estimated: est})
+	}
+	if est, ok := a.EstimateWithoutDegrade(); ok {
+		rows = append(rows, Scenario{
+			Label: alloc.String() + " no-degrade", Samplers: S, Trainers: T, Estimated: est,
+		})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Current != rows[j].Current {
+			return rows[i].Current
+		}
+		return rows[i].Label < rows[j].Label
+	})
+	return rows
+}
+
+// Summary condenses the account to the bottleneck verdict: what fraction
+// of the critical path each stage occupies, how busy each role's lanes
+// are, and which role (or the injected stalls) binds epoch time.
+type Summary struct {
+	// Binding is "sampler-bound", "trainer-bound", or "stall-bound".
+	Binding  string
+	Makespan float64
+	// Critical-path composition, as fractions of the makespan.
+	SampleFrac, ExtractFrac, TrainFrac, StallFrac float64
+	// Mean lane utilization per role (busy / makespan, averaged over the
+	// role's lanes); zero when the role has no lanes.
+	SamplerBusyFrac, TrainerBusyFrac float64
+}
+
+// Bottleneck derives the Summary. The verdict follows the critical path:
+// stalls dominating half the path are their own diagnosis; otherwise the
+// epoch is sampler-bound when Sample path time outweighs the consumer
+// stages (Extract+Train), trainer-bound when it doesn't — extraction
+// runs on the Trainer GPU, so it counts against the Trainer role.
+func (a *Account) Bottleneck() Summary {
+	s := Summary{Makespan: a.Makespan}
+	if a.Makespan > 0 {
+		s.SampleFrac = a.PathSample / a.Makespan
+		s.ExtractFrac = a.PathExtract / a.Makespan
+		s.TrainFrac = a.PathTrain / a.Makespan
+		s.StallFrac = a.PathStall / a.Makespan
+	}
+	var sb, tb float64
+	var sn, tn int
+	for _, l := range a.Lanes {
+		switch l.Kind {
+		case LaneSampler:
+			sb += l.Busy
+			sn++
+		case LaneTrainer:
+			tb += l.Busy
+			tn++
+		}
+	}
+	if sn > 0 && a.Makespan > 0 {
+		s.SamplerBusyFrac = sb / (float64(sn) * a.Makespan)
+	}
+	if tn > 0 && a.Makespan > 0 {
+		s.TrainerBusyFrac = tb / (float64(tn) * a.Makespan)
+	}
+	switch {
+	case s.StallFrac > 0.5:
+		s.Binding = "stall-bound"
+	case s.SampleFrac >= s.ExtractFrac+s.TrainFrac:
+		s.Binding = "sampler-bound"
+	default:
+		s.Binding = "trainer-bound"
+	}
+	return s
+}
+
+// WriteReport renders the human-readable account: the verdict, the
+// critical-path composition, the per-lane decomposition table, and the
+// what-if rows. The output is deterministic for golden tests.
+func (a *Account) WriteReport(w io.Writer) error {
+	sum := a.Bottleneck()
+	if _, err := fmt.Fprintf(w, "epoch accounting: makespan %.6fs, %s\n", a.Makespan, sum.Binding); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "critical path: sample %4.1f%%  extract %4.1f%%  train %4.1f%%  stall %4.1f%%  (%d segments)\n",
+		100*sum.SampleFrac, 100*sum.ExtractFrac, 100*sum.TrainFrac, 100*sum.StallFrac, len(a.Path))
+	fmt.Fprintf(w, "queue: %d tasks, total wait %.6fs (mean %.6fs)\n\n",
+		a.NumTasks, a.QueueWait, a.QueueWait/math.Max(1, float64(a.NumTasks)))
+
+	fmt.Fprintf(w, "%-22s %5s %8s %8s %8s %8s %8s %8s %8s %6s\n",
+		"lane", "tasks", "busy", "extract", "train", "aborted", "dead", "wait", "idle", "util%")
+	for _, l := range a.Lanes {
+		name := fmt.Sprintf("%s %d", l.Kind, l.Index)
+		if l.Kind == LaneQueue {
+			name = "queue"
+		}
+		if l.Standby {
+			name += " (standby)"
+		}
+		util := 0.0
+		if a.Makespan > 0 {
+			util = 100 * l.Busy / a.Makespan
+		}
+		ext := l.Extract
+		if l.Kind == LaneSampler {
+			ext = l.Sample
+		}
+		fmt.Fprintf(w, "%-22s %5d %8.4f %8.4f %8.4f %8.4f %8.4f %8.4f %8.4f %6.1f\n",
+			name, l.Tasks, l.Busy, ext, l.Train, l.Aborted, l.Dead, l.Wait, l.Idle, util)
+	}
+
+	rows := a.WhatIf()
+	if len(rows) > 0 {
+		fmt.Fprintf(w, "\nwhat-if (factored estimate):\n")
+		for _, r := range rows {
+			fmt.Fprintf(w, "  %-22s %10.6fs\n", r.Label, r.Estimated)
+		}
+	}
+	return nil
+}

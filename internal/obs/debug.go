@@ -2,26 +2,73 @@ package obs
 
 import (
 	"expvar"
+	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"net/http/pprof"
 	"sync"
+	"time"
 )
 
 // publishOnce guards the process-wide expvar name (expvar.Publish
 // panics on duplicates).
 var publishOnce sync.Once
 
-// ServeDebug starts an HTTP server on addr exposing net/http/pprof
-// (/debug/pprof/) and expvar (/debug/vars), with reg's snapshot
-// published under the "gnnlab_metrics" expvar. It blocks like
-// http.ListenAndServe; the cmd tools run it on a goroutine behind an
-// opt-in -pprof flag. Only the first registry passed process-wide is
-// published (expvar names are global).
-func ServeDebug(addr string, reg *Registry) error {
+// DebugServer is a running debug/metrics HTTP server started by
+// ServeDebug. Close it to release the listener.
+type DebugServer struct {
+	// Addr is the bound listen address (useful with ":0" test listeners).
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeDebug binds addr and serves, on its own mux:
+//
+//	/metrics       OpenMetrics text exposition of reg's snapshot
+//	/debug/vars    expvar (reg also published as the "gnnlab_metrics" var)
+//	/debug/pprof/  net/http/pprof profiles
+//
+// Unlike http.ListenAndServe it returns immediately with the running
+// server — callers read the bound address from DebugServer.Addr and stop
+// the server with Close, so tests and the cmd tools get a clean
+// lifecycle instead of a fire-and-forget listener. Only the first
+// registry passed process-wide is published to expvar (expvar names are
+// global); /metrics always serves the registry passed here.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	publishOnce.Do(func() {
 		expvar.Publish("gnnlab_metrics", expvar.Func(func() any {
 			return reg.Snapshot()
 		}))
 	})
-	return http.ListenAndServe(addr, nil)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		_ = reg.Snapshot().WriteOpenMetrics(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ds := &DebugServer{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second},
+		ln:   ln,
+	}
+	go func() { _ = ds.srv.Serve(ln) }()
+	return ds, nil
+}
+
+// Close shuts the server down and releases its listener. Safe on nil.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
 }

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"sync"
+)
+
+// Structured JSONL event log: one JSON object per line, leveled and
+// attr-carrying, for the pipeline's discrete happenings — injected fault
+// crashes, scheduler reallocations, OOM preflight failures, store/cache
+// statistics. It complements the trace (continuous spans) and the
+// metrics registry (aggregates) with a queryable record of events.
+//
+// The same contracts as the rest of the package apply: a nil *Log is a
+// valid disabled log whose methods no-op without allocating, and the log
+// only observes — attaching one never changes a Report. Events carry no
+// wall-clock timestamp by default (a monotonic sequence number instead),
+// so identical runs produce byte-identical logs.
+
+// Level orders event severities.
+type Level int8
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String names the level as it appears in the JSON.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return "level(" + strconv.Itoa(int(l)) + ")"
+}
+
+// Log writes leveled JSONL events to a writer. Create with NewLog; a nil
+// *Log is disabled.
+type Log struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min Level
+	buf []byte
+	seq uint64
+	err error
+}
+
+// NewLog returns a log emitting events at or above min to w. Writes are
+// serialized under an internal mutex; the first write error is retained
+// (see Err) and subsequent events are dropped.
+func NewLog(w io.Writer, min Level) *Log {
+	return &Log{w: w, min: min, buf: make([]byte, 0, 256)}
+}
+
+// Enabled reports whether an event at level would be written — the guard
+// hot paths use to skip attr construction entirely when the log is nil
+// or the level filtered.
+func (l *Log) Enabled(level Level) bool {
+	return l != nil && level >= l.min
+}
+
+// Err returns the first write error the log hit, if any.
+func (l *Log) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Event writes one JSONL record: {"seq":N,"level":"...","event":"...",
+// attrs...}. Attr values of type string, bool, int/int64/int32, uint64,
+// float64/float32 and Level are encoded natively; other types fall back
+// to their quoted Go formatting via strconv. No-op when disabled or
+// below the minimum level.
+func (l *Log) Event(level Level, name string, attrs ...Attr) {
+	if !l.Enabled(level) {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	b := l.buf[:0]
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, l.seq, 10)
+	b = append(b, `,"level":`...)
+	b = strconv.AppendQuote(b, level.String())
+	b = append(b, `,"event":`...)
+	b = strconv.AppendQuote(b, name)
+	for _, a := range attrs {
+		b = append(b, ',')
+		b = strconv.AppendQuote(b, a.Key)
+		b = append(b, ':')
+		b = appendValue(b, a.Value)
+	}
+	b = append(b, '}', '\n')
+	l.buf = b
+	l.seq++
+	if _, err := l.w.Write(b); err != nil {
+		l.err = err
+	}
+}
+
+// appendValue JSON-encodes one attr value into b.
+func appendValue(b []byte, v any) []byte {
+	switch x := v.(type) {
+	case string:
+		return strconv.AppendQuote(b, x)
+	case bool:
+		return strconv.AppendBool(b, x)
+	case int:
+		return strconv.AppendInt(b, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(b, x, 10)
+	case int32:
+		return strconv.AppendInt(b, int64(x), 10)
+	case uint64:
+		return strconv.AppendUint(b, x, 10)
+	case float64:
+		return appendFloat(b, x)
+	case float32:
+		return appendFloat(b, float64(x))
+	case Level:
+		return strconv.AppendQuote(b, x.String())
+	case nil:
+		return append(b, "null"...)
+	default:
+		// Rare, cold fallback; keeps arbitrary values representable.
+		return strconv.AppendQuote(b, stringify(x))
+	}
+}
+
+// appendFloat encodes a float as JSON (non-finite values, which JSON
+// cannot carry, become quoted strings).
+func appendFloat(b []byte, f float64) []byte {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return strconv.AppendQuote(b, strconv.FormatFloat(f, 'g', -1, 64))
+	}
+	return strconv.AppendFloat(b, f, 'g', -1, 64)
+}
+
+// stringify formats a fallback attr value without fmt (keeps the common
+// paths free of fmt's interface allocations).
+func stringify(v any) string {
+	type stringer interface{ String() string }
+	if s, ok := v.(stringer); ok {
+		return s.String()
+	}
+	return "?"
+}
+
+// SetEventLog attaches a structured event log to the recorder; nil-safe
+// no-op on a disabled recorder.
+func (r *Recorder) SetEventLog(l *Log) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.eventLog = l
+	r.mu.Unlock()
+}
+
+// EventLog returns the attached event log; nil (the disabled log) when
+// none is attached or the recorder is nil.
+func (r *Recorder) EventLog() *Log {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.eventLog
+}

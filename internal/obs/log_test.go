@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	hv := h.value()
+	// Bucketed estimates are within one eighth-octave (≈ ±9%).
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"p50", hv.P50, 500},
+		{"p90", hv.P90, 900},
+		{"p99", hv.P99, 990},
+	} {
+		if rel := math.Abs(c.got-c.want) / c.want; rel > 0.10 {
+			t.Errorf("%s = %v, want ≈%v (rel err %.3f)", c.name, c.got, c.want, rel)
+		}
+	}
+	if hv.P50 > hv.P90 || hv.P90 > hv.P99 {
+		t.Errorf("quantiles not monotone: %v %v %v", hv.P50, hv.P90, hv.P99)
+	}
+	if hv.P99 > hv.Max || hv.P50 < hv.Min {
+		t.Errorf("quantiles escape [min, max]: %+v", hv)
+	}
+
+	// Single observation: every quantile collapses onto it.
+	one := &Histogram{}
+	one.Observe(42)
+	if v := one.value(); v.P50 != 42 || v.P99 != 42 {
+		t.Errorf("single-sample quantiles = %+v, want 42 everywhere", v)
+	}
+
+	// Zero and negative observations are clamped, not lost.
+	z := &Histogram{}
+	z.Observe(0)
+	z.Observe(-1)
+	z.Observe(5)
+	if v := z.value(); v.Count != 3 || v.P50 < v.Min || v.P99 > v.Max {
+		t.Errorf("nonpositive handling: %+v", v)
+	}
+}
+
+func TestHistogramObserveZeroAlloc(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("live")
+	allocs := testing.AllocsPerRun(500, func() {
+		h.Observe(0.0123)
+		h.Observe(123456)
+	})
+	if allocs != 0 {
+		t.Errorf("live Histogram.Observe allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestWriteOpenMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("store.hits").Add(7)
+	reg.Gauge("core.cache-ratio").Set(0.35)
+	for _, v := range []float64{1, 2, 3, 4} {
+		reg.Histogram("core.epoch_time_s").Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE gnnlab_store_hits counter",
+		"gnnlab_store_hits_total 7",
+		"# TYPE gnnlab_core_cache_ratio gauge",
+		"gnnlab_core_cache_ratio 0.35",
+		"# TYPE gnnlab_core_epoch_time_s summary",
+		`gnnlab_core_epoch_time_s{quantile="0.5"}`,
+		`gnnlab_core_epoch_time_s{quantile="0.99"}`,
+		"gnnlab_core_epoch_time_s_sum 10",
+		"gnnlab_core_epoch_time_s_count 4",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Errorf("exposition does not end with # EOF:\n%s", text)
+	}
+	var buf2 bytes.Buffer
+	if err := reg.Snapshot().WriteOpenMetrics(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("exposition not deterministic")
+	}
+}
+
+func TestServeDebugLifecycleAndMetricsScrape(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("scrape.me").Add(3)
+	ds, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if ds.Addr == "" || strings.HasSuffix(ds.Addr, ":0") {
+		t.Fatalf("bound address not resolved: %q", ds.Addr)
+	}
+	resp, err := http.Get("http://" + ds.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "gnnlab_scrape_me_total 3") {
+		t.Errorf("scrape missing counter:\n%s", body)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + ds.Addr + "/metrics"); err == nil {
+		t.Error("server still serving after Close")
+	}
+	var nilDS *DebugServer
+	if err := nilDS.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}
+
+func TestEventLogJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLog(&buf, LevelInfo)
+	l.Event(LevelDebug, "dropped.below.min")
+	l.Event(LevelInfo, "cache.stats", Attr{"hits", int64(10)}, Attr{"ratio", 0.5}, Attr{"policy", "PreSC"})
+	l.Event(LevelWarn, "fault.crash", Attr{"consumer", 2}, Attr{"standby", false}, Attr{"at", math.Inf(1)})
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 not valid JSON: %v\n%s", err, lines[0])
+	}
+	if first["event"] != "cache.stats" || first["level"] != "info" || first["hits"] != float64(10) || first["policy"] != "PreSC" {
+		t.Errorf("unexpected record: %v", first)
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("line 1 not valid JSON: %v\n%s", err, lines[1])
+	}
+	if second["seq"] != float64(1) || second["at"] != "+Inf" || second["standby"] != false {
+		t.Errorf("unexpected record: %v", second)
+	}
+
+	// Determinism: a fresh log over the same events is byte-identical.
+	var buf2 bytes.Buffer
+	l2 := NewLog(&buf2, LevelInfo)
+	l2.Event(LevelDebug, "dropped.below.min")
+	l2.Event(LevelInfo, "cache.stats", Attr{"hits", int64(10)}, Attr{"ratio", 0.5}, Attr{"policy", "PreSC"})
+	l2.Event(LevelWarn, "fault.crash", Attr{"consumer", 2}, Attr{"standby", false}, Attr{"at", math.Inf(1)})
+	if buf.String() != buf2.String() {
+		t.Error("event log not deterministic")
+	}
+}
+
+func TestNilEventLogZeroAlloc(t *testing.T) {
+	var l *Log
+	if l.Enabled(LevelError) {
+		t.Error("nil log reports enabled")
+	}
+	if l.Err() != nil {
+		t.Error("nil log has an error")
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if l.Enabled(LevelWarn) {
+			l.Event(LevelWarn, "never", Attr{"k", 1})
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("disabled event log allocates %v per run, want 0", allocs)
+	}
+	var r *Recorder
+	if r.EventLog() != nil {
+		t.Error("nil recorder returned a log")
+	}
+	r.SetEventLog(nil) // must not panic
+}
+
+func TestRecorderEventLogAttachment(t *testing.T) {
+	r := NewRecorder()
+	if r.EventLog() != nil {
+		t.Error("fresh recorder has a log attached")
+	}
+	var buf bytes.Buffer
+	l := NewLog(&buf, LevelDebug)
+	r.SetEventLog(l)
+	if r.EventLog() != l {
+		t.Error("attached log not returned")
+	}
+	r.EventLog().Event(LevelInfo, "hello")
+	if !strings.Contains(buf.String(), `"event":"hello"`) {
+		t.Errorf("event did not reach the writer: %s", buf.String())
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	return 0, io.ErrClosedPipe
+}
+
+func TestEventLogRetainsFirstWriteError(t *testing.T) {
+	fw := &failWriter{}
+	l := NewLog(fw, LevelDebug)
+	l.Event(LevelInfo, "a")
+	l.Event(LevelInfo, "b")
+	if l.Err() != io.ErrClosedPipe {
+		t.Fatalf("Err = %v, want ErrClosedPipe", l.Err())
+	}
+	if fw.n != 1 {
+		t.Fatalf("writer called %d times after error, want 1", fw.n)
+	}
+}

@@ -67,13 +67,58 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
-// Histogram accumulates a value distribution (count/sum/min/max).
+// Histogram bucket layout: exponential octaves split into histSub
+// sub-buckets each, covering binary exponents [histMinExp, histMaxExp)
+// (≈ 1e-12 .. 1e12 for the durations/bytes the pipeline records). Four
+// sub-buckets per octave bound the quantile's relative error by one
+// eighth of an octave (≈ ±9%). Values at or below zero, and values
+// outside the exponent range, land in clamped edge buckets; reported
+// quantiles are additionally clamped to the exact observed [min, max].
+const (
+	histMinExp  = -40
+	histMaxExp  = 41
+	histSub     = 4
+	histBuckets = (histMaxExp - histMinExp) * histSub
+)
+
+// histBucketOf maps a positive value to its bucket index.
+func histBucketOf(v float64) int {
+	frac, exp := math.Frexp(v) // v = frac × 2^exp, frac ∈ [0.5, 1)
+	if exp < histMinExp {
+		return 0
+	}
+	if exp >= histMaxExp {
+		return histBuckets - 1
+	}
+	sub := int((frac - 0.5) * (2 * histSub))
+	if sub < 0 {
+		sub = 0
+	} else if sub >= histSub {
+		sub = histSub - 1
+	}
+	return (exp-histMinExp)*histSub + sub
+}
+
+// histBucketMid is the geometric midpoint of a bucket's value range.
+func histBucketMid(i int) float64 {
+	exp := histMinExp + i/histSub
+	sub := i % histSub
+	frac := 0.5 + (float64(sub)+0.5)/(2*histSub)
+	return math.Ldexp(frac, exp)
+}
+
+// Histogram accumulates a value distribution: count/sum/min/max exactly,
+// and an exponential bucket array for quantile estimates. The bucket
+// array is a fixed-size struct member, so Observe stays allocation-free
+// (pinned by the AllocsPerRun test).
 type Histogram struct {
-	mu    sync.Mutex
-	count int64
-	sum   float64
-	min   float64
-	max   float64
+	mu     sync.Mutex
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+	nonpos int64 // observations ≤ 0 (rank at the distribution's low end)
+	bucket [histBuckets]int64
 }
 
 // Observe folds one value into the distribution; no-op on nil.
@@ -90,14 +135,54 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
+	if v > 0 {
+		h.bucket[histBucketOf(v)]++
+	} else {
+		h.nonpos++
+	}
 	h.mu.Unlock()
 }
 
-// HistogramValue is a snapshot of a histogram.
+// quantileLocked estimates the q-quantile from the bucket array; the
+// caller holds h.mu. The estimate is the geometric midpoint of the
+// bucket holding the target rank, clamped to the observed [min, max].
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.count-1))
+	if rank < 0 {
+		rank = 0
+	} else if rank >= h.count {
+		rank = h.count - 1
+	}
+	cum := h.nonpos
+	v := h.min
+	if rank >= cum {
+		for i := 0; i < histBuckets; i++ {
+			cum += h.bucket[i]
+			if rank < cum {
+				v = histBucketMid(i)
+				break
+			}
+		}
+	}
+	if v < h.min {
+		v = h.min
+	}
+	if v > h.max {
+		v = h.max
+	}
+	return v
+}
+
+// HistogramValue is a snapshot of a histogram. P50/P90/P99 are bucketed
+// quantile estimates (within one eighth-octave, ≈ ±9% relative).
 type HistogramValue struct {
 	Count         int64
 	Sum, Min, Max float64
 	Mean          float64
+	P50, P90, P99 float64
 }
 
 // value snapshots the histogram under its lock.
@@ -107,6 +192,9 @@ func (h *Histogram) value() HistogramValue {
 	hv := HistogramValue{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
 	if h.count > 0 {
 		hv.Mean = h.sum / float64(h.count)
+		hv.P50 = h.quantileLocked(0.50)
+		hv.P90 = h.quantileLocked(0.90)
+		hv.P99 = h.quantileLocked(0.99)
 	}
 	return hv
 }
@@ -205,8 +293,8 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		lines = append(lines, line{name, fmt.Sprintf("%-42s %g", name, v)})
 	}
 	for name, h := range s.Histograms {
-		lines = append(lines, line{name, fmt.Sprintf("%-42s count=%d sum=%g min=%g mean=%g max=%g",
-			name, h.Count, h.Sum, h.Min, h.Mean, h.Max)})
+		lines = append(lines, line{name, fmt.Sprintf("%-42s count=%d sum=%g min=%g mean=%g max=%g p50=%g p90=%g p99=%g",
+			name, h.Count, h.Sum, h.Min, h.Mean, h.Max, h.P50, h.P90, h.P99)})
 	}
 	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
 	for _, l := range lines {

@@ -57,10 +57,11 @@ type Recorder struct {
 	start   time.Time
 	metrics *Registry
 
-	mu      sync.Mutex
-	events  []event
-	procs   map[string]*proc
-	nextPid int
+	mu       sync.Mutex
+	events   []event
+	procs    map[string]*proc
+	nextPid  int
+	eventLog *Log
 }
 
 // proc tracks one trace process and its named thread lanes.

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// OpenMetrics / Prometheus text exposition of a metrics snapshot.
+//
+// Naming scheme: every instrument name is prefixed with "gnnlab_" and
+// sanitized ('.' and '-' become '_', anything else non-alphanumeric is
+// dropped), counters gain the conventional "_total" suffix, and
+// histograms are exposed as summaries — {quantile="0.5|0.9|0.99"}
+// sample lines plus the exact _sum and _count. The output is
+// name-sorted and ends with the OpenMetrics "# EOF" terminator, so it
+// is stable for golden tests and scrapeable by Prometheus.
+
+// sanitizeMetricName maps an internal instrument name ("core.epoch_time_s")
+// to a legal exposition name ("gnnlab_core_epoch_time_s").
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len("gnnlab_") + len(name))
+	b.WriteString("gnnlab_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if b.Len() == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		case c == '.' || c == '-' || c == '/' || c == ' ':
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteOpenMetrics renders the snapshot in the OpenMetrics text format.
+func (s Snapshot) WriteOpenMetrics(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := sanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s_total %d\n", m, m, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := sanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", m, m, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := sanitizeMetricName(name)
+		h := s.Histograms[name]
+		if _, err := fmt.Fprintf(w,
+			"# TYPE %s summary\n%s{quantile=\"0.5\"} %g\n%s{quantile=\"0.9\"} %g\n%s{quantile=\"0.99\"} %g\n%s_sum %g\n%s_count %d\n",
+			m, m, h.P50, m, h.P90, m, h.P99, m, h.Sum, m, h.Count); err != nil {
+			return err
+		}
+	}
+
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}

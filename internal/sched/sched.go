@@ -101,6 +101,33 @@ func Reallocate(prev Allocation, failed int, sampleTime, trainTime float64) (All
 	return Allocate(surviving, sampleTime, trainTime), true
 }
 
+// Perturb returns the allocation shifted by deltaSamplers/deltaTrainers
+// GPUs per role, for what-if analysis ("would one more Trainer help?").
+// ok is false when the perturbed split is not a runnable machine: a role
+// driven negative, or a non-phased split left with no Trainer-capable
+// executor at all. Phased allocations perturb both phases together when
+// the deltas agree (the roles share GPUs), and refuse otherwise.
+func (a Allocation) Perturb(deltaSamplers, deltaTrainers int) (Allocation, bool) {
+	if a.Phased {
+		if deltaSamplers != deltaTrainers {
+			return Allocation{}, false
+		}
+		n := a.Samplers + deltaSamplers
+		if n < 1 {
+			return Allocation{}, false
+		}
+		return Allocation{Samplers: n, Trainers: a.Trainers + deltaTrainers, Phased: true}, true
+	}
+	p := Allocation{Samplers: a.Samplers + deltaSamplers, Trainers: a.Trainers + deltaTrainers}
+	if p.Samplers < 0 || p.Trainers < 0 || p.NumGPUs() < 1 {
+		return Allocation{}, false
+	}
+	if p.Trainers == 0 && p.Samplers == 0 {
+		return Allocation{}, false
+	}
+	return p, true
+}
+
 // SwitchProfit computes the dynamic-switching profit metric (§5.3):
 //
 //	P = M_r × T_t / N_t − T_t′   (N_t > 0)

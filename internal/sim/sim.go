@@ -104,10 +104,39 @@ type ConsumeOptions struct {
 	Faults *Faults
 }
 
+// Context describes the capacity configuration a Result was produced
+// under: the lane counts and pipeline shape the accounting layer
+// (internal/obs/account) attributes time against. Consume fills the
+// consumer side; RunEpoch adds the producer count (zero for pre-staged
+// task sets that were never produced).
+type Context struct {
+	// Producers is how many Samplers produced the tasks (0 = pre-staged).
+	Producers int
+	// Trainers is the normal (non-standby) consumer count.
+	Trainers int
+	// Standbys is the standby consumer count (possibly not all joined).
+	Standbys  int
+	Pipelined bool
+	Sync      bool
+}
+
+// CrashWindow is one applied consumer dead window [Start, End): the
+// earliest injected crash on that consumer and its recovery time (+Inf
+// when the crash is permanent). Recorded whether or not the crash
+// aborted an in-flight task, so the accounting layer can attribute dead
+// time exactly.
+type CrashWindow struct {
+	Consumer   int
+	Standby    bool
+	Start, End Seconds
+}
+
 // Result summarizes a consumed epoch.
 type Result struct {
 	// Makespan is when the last Train completes.
 	Makespan Seconds
+	// Context records the capacity configuration of the run.
+	Context Context
 	// TasksByStandby counts tasks taken by standby Trainers.
 	TasksByStandby int
 	// TrainerBusy is accumulated busy time per normal Trainer
@@ -123,6 +152,10 @@ type Result struct {
 	// FaultEvents records every injected crash that aborted an in-flight
 	// task, in occurrence order; nil when no fault fired.
 	FaultEvents []FaultEvent
+	// Crashes records every applied consumer dead window in consumer
+	// order (whether or not it aborted a task); nil when no crash was
+	// injected.
+	Crashes []CrashWindow
 	// Requeued counts tasks that re-entered the global queue after a
 	// consumer crash (== len(FaultEvents)).
 	Requeued int
@@ -280,7 +313,25 @@ func Consume(tasks []Task, opts ConsumeOptions) Result {
 	}
 	applyFaults(consumers, faults)
 
-	res := Result{TrainerBusy: make([]Seconds, opts.NumTrainers)}
+	res := Result{
+		TrainerBusy: make([]Seconds, opts.NumTrainers),
+		Context: Context{
+			Trainers:  opts.NumTrainers,
+			Standbys:  len(opts.StandbyAvailable),
+			Pipelined: opts.Pipelined,
+			Sync:      opts.Sync,
+		},
+	}
+	for ci, c := range consumers {
+		if !math.IsInf(c.crashAt, 1) {
+			res.Crashes = append(res.Crashes, CrashWindow{
+				Consumer: ci,
+				Standby:  c.standby,
+				Start:    c.crashAt,
+				End:      c.recoverAt,
+			})
+		}
+	}
 	var barrier Seconds // sync mode: last round's gradient exchange point
 	roundEnd := Seconds(0)
 	inRound := 0
@@ -504,7 +555,9 @@ func RunEpoch(tasks []Task, numSamplers int, opts ConsumeOptions) Result {
 		// Samplers become standby Trainers when they finish producing.
 		opts.StandbyAvailable = append([]Seconds(nil), finish...)
 	}
-	return Consume(tasks, opts)
+	res := Consume(tasks, opts)
+	res.Context.Producers = numSamplers
+	return res
 }
 
 func argmin(xs []Seconds) int {

@@ -1,0 +1,277 @@
+// Command benchdiff is the CI perf-regression gate: it compares freshly
+// generated BENCH_*.json benchmark artifacts against committed
+// baselines and fails (exit 1) when a metric regresses past its class
+// threshold.
+//
+// Usage:
+//
+//	benchdiff [-out report.txt] [-files BENCH_a.json,BENCH_b.json] BASELINE_DIR FRESH_DIR
+//
+// Each JSON file is flattened to dotted numeric paths
+// (configs[1].pooled_allocs_op) and every metric is classified by its
+// key name:
+//
+//   - allocation counts (…allocs_op): lower is better, 15% tolerance —
+//     the hard gate; the pooled paths are pinned at zero.
+//   - allocation sizes (…bytes_op, …alloc_bytes): lower is better, 15%.
+//   - allocation-derived ratios (…bytes_ratio): higher is better, 15%
+//     — deterministic, so portable across hosts.
+//   - time-derived speedups (speedup…, rank_speedup): higher is
+//     better, but both numerator and denominator are wall clock, so
+//     they carry the clock noise band — 50% tolerance.
+//   - wall-clock times and derived shape metrics (…_ns_op, …_s, …_us,
+//     …_ms, ns_per_visit, …slowdown, …_ratio): lower is better, but
+//     noisy on shared runners — 50% tolerance.
+//   - structural counts (store_hits, vertices, cells, …): exact.
+//   - environment (cores, workers, scale) and strings: ignored.
+//
+// A metric present in the baseline but missing fresh fails; a new
+// fresh-only metric is reported but passes (baselines lag new code).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// defaultFiles are the benchmark artifacts the repo commits as baselines.
+var defaultFiles = []string{
+	"BENCH_measure.json",
+	"BENCH_replay.json",
+	"BENCH_sample.json",
+	"BENCH_train.json",
+	"BENCH_graph.json",
+}
+
+// class is one metric family's comparison rule.
+type class struct {
+	name string
+	// dir is +1 when higher is better, -1 when lower is better, 0 for
+	// exact equality.
+	dir int
+	// tol is the allowed relative change in the bad direction.
+	tol float64
+	// eps is the absolute slack when the baseline is zero (or for
+	// near-zero baselines, where relative thresholds are meaningless).
+	eps float64
+	// skip marks metrics that are reported but never gate.
+	skip bool
+}
+
+var (
+	clAllocs  = class{name: "allocs", dir: -1, tol: 0.15, eps: 0.5}
+	clBytes   = class{name: "bytes", dir: -1, tol: 0.15, eps: 64}
+	clRatio   = class{name: "ratio", dir: +1, tol: 0.15, eps: 0.05}
+	clSpeedup = class{name: "speedup", dir: +1, tol: 0.50, eps: 0.05}
+	clClock   = class{name: "clock", dir: -1, tol: 0.50, eps: 1e-6}
+	clExact   = class{name: "exact", dir: 0}
+	clIgnore  = class{name: "env", skip: true}
+	clInfo    = class{name: "info", skip: true}
+)
+
+// exactKeys are structural counts that must not move at all.
+var exactKeys = map[string]bool{
+	"store_hits": true, "store_misses": true, "cells": true,
+	"vertices": true, "edges": true, "delta_size": true,
+	"base_edges": true, "base_vertices": true, "delta_edges": true,
+	"delta_new_vertices": true, "graph_vertices": true, "graph_edges": true,
+	"rank_vertices": true, "calls": true, "batch_size": true,
+	"feature_dim": true, "hidden_dim": true,
+}
+
+// classify maps a flattened metric path to its comparison class.
+func classify(path string) class {
+	key := path
+	if i := strings.LastIndexByte(key, '.'); i >= 0 {
+		key = key[i+1:]
+	}
+	switch {
+	case key == "cores" || key == "workers" || key == "scale":
+		return clIgnore
+	case exactKeys[key]:
+		return clExact
+	case strings.HasSuffix(key, "allocs_op"):
+		return clAllocs
+	case strings.HasSuffix(key, "bytes_op") || strings.HasSuffix(key, "alloc_bytes"):
+		return clBytes
+	case strings.HasSuffix(key, "bytes_ratio"):
+		return clRatio
+	case strings.HasPrefix(key, "speedup") || strings.HasSuffix(key, "speedup"):
+		return clSpeedup
+	case strings.HasSuffix(key, "_ns_op") || strings.HasSuffix(key, "_s") ||
+		strings.HasSuffix(key, "_us") || strings.HasSuffix(key, "_ms") ||
+		key == "ns_per_visit" || strings.HasSuffix(key, "slowdown") ||
+		strings.HasSuffix(key, "_ratio"):
+		return clClock
+	default:
+		return clInfo
+	}
+}
+
+// flatten walks a decoded JSON value, recording numeric leaves under
+// dotted paths (arrays as [i]).
+func flatten(prefix string, v any, out map[string]float64) {
+	switch t := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, t[k], out)
+		}
+	case []any:
+		for i, e := range t {
+			flatten(fmt.Sprintf("%s[%d]", prefix, i), e, out)
+		}
+	case float64:
+		out[prefix] = t
+	}
+}
+
+func loadFlat(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]float64{}
+	flatten("", v, out)
+	return out, nil
+}
+
+// verdict is one compared metric's outcome line.
+type verdict struct {
+	status string // OK, FAIL, NEW, GONE, SKIP
+	line   string
+}
+
+// compare diffs one artifact's flattened metrics.
+func compare(file string, base, fresh map[string]float64) []verdict {
+	paths := map[string]bool{}
+	for p := range base {
+		paths[p] = true
+	}
+	for p := range fresh {
+		paths[p] = true
+	}
+	ordered := make([]string, 0, len(paths))
+	for p := range paths {
+		ordered = append(ordered, p)
+	}
+	sort.Strings(ordered)
+
+	var out []verdict
+	for _, p := range ordered {
+		cl := classify(p)
+		full := file + ":" + p
+		b, inBase := base[p]
+		f, inFresh := fresh[p]
+		switch {
+		case cl.skip:
+			continue
+		case !inFresh:
+			out = append(out, verdict{"GONE", fmt.Sprintf("GONE  %-60s baseline %.6g has no fresh value", full, b)})
+		case !inBase:
+			out = append(out, verdict{"NEW", fmt.Sprintf("NEW   %-60s fresh %.6g has no baseline", full, f)})
+		case cl.dir == 0:
+			if b != f {
+				out = append(out, verdict{"FAIL", fmt.Sprintf("FAIL  %-60s %.6g -> %.6g (must match exactly)", full, b, f)})
+			} else {
+				out = append(out, verdict{"OK", fmt.Sprintf("OK    %-60s %.6g (exact)", full, b)})
+			}
+		default:
+			bad := false
+			switch cl.dir {
+			case -1: // lower is better: fail when fresh grows past tolerance
+				limit := b*(1+cl.tol) + cl.eps
+				bad = f > limit
+			case +1: // higher is better: fail when fresh shrinks past tolerance
+				limit := b*(1-cl.tol) - cl.eps
+				bad = f < limit
+			}
+			delta := 0.0
+			if b != 0 {
+				delta = 100 * (f - b) / math.Abs(b)
+			}
+			status := "OK"
+			if bad {
+				status = "FAIL"
+			}
+			out = append(out, verdict{status, fmt.Sprintf("%-5s %-60s %.6g -> %.6g (%+.1f%%, %s ±%.0f%%)",
+				status, full, b, f, delta, cl.name, 100*cl.tol)})
+		}
+	}
+	return out
+}
+
+func run(w io.Writer, files []string, baseDir, freshDir string) (failed bool) {
+	for _, file := range files {
+		basePath := filepath.Join(baseDir, file)
+		freshPath := filepath.Join(freshDir, file)
+		base, berr := loadFlat(basePath)
+		fresh, ferr := loadFlat(freshPath)
+		switch {
+		case berr != nil && os.IsNotExist(berr):
+			fmt.Fprintf(w, "NEW   %s: no committed baseline (add one)\n", file)
+			continue
+		case berr != nil:
+			fmt.Fprintf(w, "FAIL  %s: %v\n", file, berr)
+			failed = true
+			continue
+		case ferr != nil:
+			fmt.Fprintf(w, "FAIL  %s: fresh artifact missing or unreadable: %v\n", file, ferr)
+			failed = true
+			continue
+		}
+		for _, v := range compare(file, base, fresh) {
+			if v.status == "FAIL" || v.status == "GONE" {
+				failed = true
+			}
+			fmt.Fprintln(w, v.line)
+		}
+	}
+	return failed
+}
+
+func main() {
+	out := flag.String("out", "", "also write the report to this path")
+	filesFlag := flag.String("files", strings.Join(defaultFiles, ","), "comma-separated artifact names to compare")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-out report.txt] [-files a,b] BASELINE_DIR FRESH_DIR")
+		os.Exit(2)
+	}
+	var buf strings.Builder
+	failed := run(&buf, strings.Split(*filesFlag, ","), flag.Arg(0), flag.Arg(1))
+	if failed {
+		buf.WriteString("benchdiff: FAIL — at least one metric regressed past its threshold\n")
+	} else {
+		buf.WriteString("benchdiff: OK\n")
+	}
+	fmt.Print(buf.String())
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(buf.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func statuses(vs []verdict) map[string]string {
+	m := map[string]string{}
+	for _, v := range vs {
+		// line format: "STATUS file:path ..."
+		f := strings.Fields(v.line)
+		m[f[1]] = v.status
+	}
+	return m
+}
+
+func TestCompareClassThresholds(t *testing.T) {
+	base := map[string]float64{
+		"configs[0].pooled_allocs_op": 0,
+		"configs[0].fresh_allocs_op":  65,
+		"configs[0].pooled_bytes_op":  1000,
+		"configs[0].speedup_ns":       1.2,
+		"configs[0].bytes_ratio":      100,
+		"configs[0].fresh_ns_op":      1e6,
+		"rank_speedup":                2.0,
+		"store_hits":                  10,
+		"cores":                       8,
+	}
+	fresh := map[string]float64{
+		"configs[0].pooled_allocs_op": 3,     // was 0: regression past eps
+		"configs[0].fresh_allocs_op":  66,    // within 15%
+		"configs[0].pooled_bytes_op":  2000,  // +100%: past 15%
+		"configs[0].speedup_ns":       0.9,   // -25%: within the 50% speedup band
+		"configs[0].bytes_ratio":      80,    // -20%: past the 15% ratio band
+		"configs[0].fresh_ns_op":      1.4e6, // +40%: within the 50% clock band
+		"rank_speedup":                0.8,   // -60%: past the 50% speedup band
+		"store_hits":                  11,    // exact metric moved
+		"cores":                       1,     // env: ignored
+		"brand_new_metric_s":          5,     // fresh-only: reported, passes
+	}
+	got := statuses(compare("B.json", base, fresh))
+	want := map[string]string{
+		"B.json:configs[0].pooled_allocs_op": "FAIL",
+		"B.json:configs[0].fresh_allocs_op":  "OK",
+		"B.json:configs[0].pooled_bytes_op":  "FAIL",
+		"B.json:configs[0].speedup_ns":       "OK",
+		"B.json:configs[0].bytes_ratio":      "FAIL",
+		"B.json:rank_speedup":                "FAIL",
+		"B.json:configs[0].fresh_ns_op":      "OK",
+		"B.json:store_hits":                  "FAIL",
+		"B.json:brand_new_metric_s":          "NEW",
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("%s = %s, want %s", k, got[k], w)
+		}
+	}
+	if _, ok := got["B.json:cores"]; ok {
+		t.Error("environment metric was not ignored")
+	}
+}
+
+func TestCompareBaselineOnlyMetricFails(t *testing.T) {
+	got := compare("B.json", map[string]float64{"fresh_ns_op": 1}, map[string]float64{})
+	if len(got) != 1 || got[0].status != "GONE" {
+		t.Fatalf("vanished metric: %+v", got)
+	}
+}
+
+func writeFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	baseDir, freshDir := t.TempDir(), t.TempDir()
+	writeFile(t, baseDir, "BENCH_x.json", `{"speedup": 2.0, "serial_s": 1.0, "cores": 8}`)
+
+	// Fresh artifact missing: the gate fails.
+	var b strings.Builder
+	if !run(&b, []string{"BENCH_x.json"}, baseDir, freshDir) {
+		t.Errorf("missing fresh artifact did not fail:\n%s", b.String())
+	}
+
+	// Healthy fresh artifact: the gate passes.
+	writeFile(t, freshDir, "BENCH_x.json", `{"speedup": 1.9, "serial_s": 1.2, "cores": 1}`)
+	b.Reset()
+	if run(&b, []string{"BENCH_x.json"}, baseDir, freshDir) {
+		t.Errorf("healthy diff failed:\n%s", b.String())
+	}
+
+	// Regressed speedup (past the 50% band): the gate fails.
+	writeFile(t, freshDir, "BENCH_x.json", `{"speedup": 0.9, "serial_s": 1.2, "cores": 1}`)
+	b.Reset()
+	if !run(&b, []string{"BENCH_x.json"}, baseDir, freshDir) {
+		t.Errorf("speedup regression passed:\n%s", b.String())
+	}
+
+	// No baseline at all: reported as NEW, passes.
+	b.Reset()
+	if run(&b, []string{"BENCH_missing.json"}, baseDir, freshDir) {
+		t.Errorf("missing baseline failed the gate:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "NEW") {
+		t.Errorf("missing baseline not reported:\n%s", b.String())
+	}
+}

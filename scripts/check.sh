@@ -8,6 +8,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Perf-regression gate, part 1: the bench smoke runs below overwrite the
+# committed BENCH_*.json baselines in place, so stash them first;
+# scripts/benchdiff compares against this copy at the end.
+BASELINES="$(mktemp -d)"
+cp BENCH_*.json "$BASELINES"/
+
 go vet ./...
 go build ./...
 go test -race -timeout 3600s ./...
@@ -44,3 +50,11 @@ go test -timeout 3600s -run xxx -bench='BenchmarkSnapshotOverhead|BenchmarkApply
 # Drift smoke: the dynamic-graph cache-policy experiment end to end
 # through the CLI (degree vs PreSC under drift at two re-rank cadences).
 go run ./cmd/gnnlab-bench -scale 8 -gpus 4 -epochs 2 -drift 3 drift
+# Epoch-accounting smoke: the critical-path/what-if report end to end.
+go run ./cmd/gnnlab-bench -scale 16 -gpus 4 -whatif PA > /dev/null
+# Perf-regression gate, part 2: regenerate the artifacts the smoke runs
+# above did not already refresh (measure, replay, sample), then diff all
+# five against the stashed baselines. Allocation metrics fail past 15%;
+# wall-clock metrics get a wide noise band (see scripts/benchdiff).
+go test -timeout 3600s -run xxx -bench='BenchmarkMeasureParallel|BenchmarkMeasureStoreReplay|BenchmarkSampleArena' -benchtime=1x .
+go run ./scripts/benchdiff -out benchdiff.txt "$BASELINES" .
