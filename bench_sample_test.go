@@ -132,7 +132,12 @@ func BenchmarkSampleArena(b *testing.B) {
 			PooledAllocsOp: po,
 			SpeedupNs:      fs / ps,
 		}
-		if pb > 0 {
+		// Under 1 B/op the pooled side is a stray one-time allocation
+		// (a lazy shared table landing inside the measured window)
+		// amortized over the iteration count — dividing by it makes the
+		// ratio swing with b.N, so clamp the denominator and report
+		// fresh bytes, same as the exactly-zero case.
+		if pb >= 1 {
 			row.BytesRatio = fb / pb
 		} else {
 			row.BytesRatio = fb // effectively infinite; report fresh bytes

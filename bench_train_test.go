@@ -159,7 +159,10 @@ func BenchmarkMinibatch(b *testing.B) {
 			PooledAllocsOp: pooledO,
 			SpeedupNs:      freshS / pooledS,
 		}
-		if pooledB > 0 {
+		// Clamp sub-byte pooled averages (a stray one-time allocation
+		// amortized over b.N) so the ratio does not swing with the
+		// iteration count; see the same rule in bench_sample_test.go.
+		if pooledB >= 1 {
 			row.BytesRatio = freshB / pooledB
 		} else {
 			row.BytesRatio = freshB

@@ -4,8 +4,9 @@
 // Usage:
 //
 //	gnnlab-bench [-scale N] [-gpus N] [-epochs N] [-workers N] [-faults N] [-drift N]
-//	             [-format table|csv] [-list] [-whatif DATASET] [-eventlog out.jsonl]
-//	             [-trace out.json] [-metrics] [-pprof addr] [experiment ...]
+//	             [-packed] [-format table|csv] [-list] [-whatif DATASET]
+//	             [-eventlog out.jsonl] [-trace out.json] [-metrics]
+//	             [-pprof addr] [experiment ...]
 //
 // With no experiment arguments, every registered experiment (the paper's
 // tables and figures plus the ablations) runs in paper order. At -scale 1
@@ -34,6 +35,7 @@ func main() {
 	workers := flag.Int("workers", 0, "measurement worker pool size (0 = NumCPU, 1 = serial; results are identical at any setting)")
 	faults := flag.Int("faults", 0, "cap for the resilience experiment's injected-fault sweep (0 = default sweep)")
 	drift := flag.Int("drift", 0, "mutation rounds for the dynamic-graph drift experiment (0 = default sweep)")
+	packed := flag.Bool("packed", false, "run over the compressed packed topology (bit-identical tables; Vol_G reflects the compressed bytes)")
 	noStore := flag.Bool("nostore", false, "disable the shared measurement store (every cell re-measures; results are identical either way)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	format := flag.String("format", "table", "output format: table or csv")
@@ -55,7 +57,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Scale: *scale, NumGPUs: *gpus, Epochs: *epochs, Seed: *seed, Workers: *workers, Faults: *faults, Drift: *drift}
+	opts := experiments.Options{Scale: *scale, NumGPUs: *gpus, Epochs: *epochs, Seed: *seed, Workers: *workers, Faults: *faults, Drift: *drift, Packed: *packed}
 	if *tracePath != "" || *metrics || *pprofAddr != "" || *eventlogPath != "" {
 		opts.Obs = obs.NewRecorder()
 	}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	gnnlab-gen [-preset PA] [-scale N] [-out graph.bin] [-stats]
+//	gnnlab-gen [-preset PA] [-scale N] [-packed] [-out graph.bin] [-stats]
 package main
 
 import (
@@ -23,11 +23,21 @@ func main() {
 	scale := flag.Int("scale", 1, "scale divisor")
 	out := flag.String("out", "", "write the complete dataset (binary) to this path")
 	stats := flag.Bool("stats", false, "print the degree distribution summary")
+	packed := flag.Bool("packed", false, "compress the topology to the packed layout (Vol_G and -out reflect the compressed bytes)")
 	flag.Parse()
 
 	d, err := gnnlab.LoadDatasetScaled(*preset, *scale)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *packed {
+		csrBytes := d.Graph.TopologyBytesUnweighted()
+		d = gnnlab.PackDataset(d)
+		pBytes := d.Graph.TopologyBytesUnweighted()
+		fmt.Printf("packed: %.1f MB -> %.1f MB (%.2fx, %.2f B/edge)\n",
+			float64(csrBytes)/(1<<20), float64(pBytes)/(1<<20),
+			float64(csrBytes)/float64(pBytes),
+			float64(pBytes)/float64(d.Graph.NumEdges()))
 	}
 	fmt.Printf("%s: %d vertices, %d edges, dim %d, |TS| %d, Vol_G %.1f MB, Vol_F %.1f MB\n",
 		d.Name, d.NumVertices(), d.Graph.NumEdges(), d.FeatureDim, len(d.TrainSet),

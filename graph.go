@@ -29,6 +29,24 @@ type GraphSnapshot = graph.Snapshot
 // GraphBuilder.Build(dedup=true).
 func NewGraphDelta(base *Graph, dedup bool) *GraphDelta { return graph.NewDelta(base, dedup) }
 
+// GraphPacked is the compressed, mmap-able topology store: adjacency is
+// delta-varint encoded in blocks behind a sampled offset directory,
+// ~2.5-3.5x smaller than CSR on the preset graphs. It implements
+// GraphView plus the NeighborDecoder decode fast path the sampling
+// arenas use, so every sampler runs over it allocation-free with
+// bit-identical results.
+type GraphPacked = graph.Packed
+
+// PackGraph compresses any GraphView into the packed layout. Encoding is
+// parallelized over workers goroutines (0 = NumCPU) with deterministic
+// output bytes at any worker count.
+func PackGraph(g GraphView, workers int) *GraphPacked { return graph.Pack(g, workers) }
+
+// PackDataset returns a shallow copy of d with its topology converted to
+// the compressed packed layout (memoized per underlying graph); datasets
+// holding non-CSR views are returned unchanged.
+func PackDataset(d *Dataset) *Dataset { return gen.PackDataset(d) }
+
 // GraphBuilder accumulates edges and produces a Graph.
 type GraphBuilder = graph.Builder
 

@@ -34,7 +34,10 @@ func Drift(o Options) (*Table, error) {
 	if rounds == 0 {
 		rounds = 4
 	}
-	d, err := o.load(gen.PresetPR)
+	// The drift experiment appends edges through a graph.Delta over the
+	// base CSR, so it always loads concrete CSR storage (a packed
+	// topology is immutable).
+	d, err := o.loadCSR(gen.PresetPR)
 	if err != nil {
 		return nil, err
 	}

@@ -57,6 +57,13 @@ type Options struct {
 	// Drift sets the number of mutation rounds for the dynamic-graph drift
 	// experiment (0 = the default sweep). Other experiments ignore it.
 	Drift int
+	// Packed converts every loaded topology to the compressed
+	// graph.Packed layout (-packed on gnnlab-bench): samplers decode
+	// neighbor rows through the scratch-arena fast path and the planning
+	// experiments account the real compressed Vol_G. Results are
+	// bit-identical to CSR runs; only topology bytes and sampling
+	// wall-clock change.
+	Packed bool
 }
 
 func (o Options) withDefaults() Options {
@@ -79,8 +86,20 @@ func (o Options) withDefaults() Options {
 // code paths at a fraction of the cost, used by tests and -short benches.
 func Quick() Options { return Options{Scale: 8, Epochs: 2} }
 
-// load fetches a preset at the configured scale.
+// load fetches a preset at the configured scale, converting the topology
+// to the compressed layout when Packed is set.
 func (o Options) load(name string) (*gen.Dataset, error) {
+	d, err := o.loadCSR(name)
+	if err == nil && o.Packed {
+		d = gen.PackDataset(d)
+	}
+	return d, err
+}
+
+// loadCSR fetches a preset at the configured scale with its topology left
+// as concrete CSR storage regardless of Packed — for experiments that
+// mutate the graph (the drift experiment builds a Delta over the base).
+func (o Options) loadCSR(name string) (*gen.Dataset, error) {
 	return gen.LoadPresetScaled(name, o.Scale)
 }
 

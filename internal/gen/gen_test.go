@@ -388,3 +388,81 @@ func TestReadDatasetRejectsGarbage(t *testing.T) {
 		t.Error("garbage accepted")
 	}
 }
+
+// TestPackedDatasetRoundTrip: a dataset whose topology was converted to
+// the packed layout serializes through the same WriteDataset format (the
+// graph section is self-describing) and reads back as a *graph.Packed
+// with identical adjacency and sidecar sections.
+func TestPackedDatasetRoundTrip(t *testing.T) {
+	base, err := Generate(tiny(KindCommunity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := PackDataset(base)
+	if _, ok := d.Graph.(*graph.Packed); !ok {
+		t.Fatalf("PackDataset left a %T", d.Graph)
+	}
+	if d.CSR() != nil {
+		t.Error("packed dataset still claims concrete CSR storage")
+	}
+	// Shallow copy: sidecars shared, base dataset untouched.
+	if base.CSR() == nil {
+		t.Error("PackDataset mutated the input dataset")
+	}
+	if &d.TrainSet[0] != &base.TrainSet[0] || &d.Features[0] != &base.Features[0] {
+		t.Error("sidecar sections were copied, not shared")
+	}
+	if PackDataset(base).Graph != d.Graph {
+		t.Error("conversion not memoized per CSR")
+	}
+	if PackDataset(d) != d {
+		t.Error("re-packing a packed dataset should be a no-op")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDataset(&buf, d.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, ok := got.Graph.(*graph.Packed)
+	if !ok {
+		t.Fatalf("round trip produced a %T, want *graph.Packed", got.Graph)
+	}
+	if gp.NumVertices() != d.NumVertices() || gp.NumEdges() != d.Graph.NumEdges() {
+		t.Fatalf("graph shape changed: %d/%d vs %d/%d",
+			gp.NumVertices(), gp.NumEdges(), d.NumVertices(), d.Graph.NumEdges())
+	}
+	for v := int32(0); int(v) < d.NumVertices(); v++ {
+		want := d.Graph.Adj(v)
+		if gotAdj := gp.Adj(v); len(gotAdj) != len(want) {
+			t.Fatalf("vertex %d: degree %d vs %d", v, len(gotAdj), len(want))
+		} else {
+			for i := range want {
+				if gotAdj[i] != want[i] {
+					t.Fatalf("vertex %d: adjacency differs at %d", v, i)
+				}
+			}
+		}
+	}
+	if got.FeatureDim != d.FeatureDim || got.NumClasses != d.NumClasses {
+		t.Errorf("metadata changed: dim %d classes %d", got.FeatureDim, got.NumClasses)
+	}
+	for i := range d.TrainSet {
+		if got.TrainSet[i] != d.TrainSet[i] {
+			t.Fatalf("train set differs at %d", i)
+		}
+	}
+	for i := range d.Labels {
+		if got.Labels[i] != d.Labels[i] {
+			t.Fatalf("labels differ at %d", i)
+		}
+	}
+	for i := range d.Features {
+		if got.Features[i] != d.Features[i] {
+			t.Fatalf("features differ at %d", i)
+		}
+	}
+}

@@ -96,7 +96,9 @@ func (b *Builder) Build(dedup bool) (*CSR, error) {
 	for v := 0; v < n; v++ {
 		rowPtr[v+1] += rowPtr[v]
 	}
-	return &CSR{RowPtr: rowPtr, ColIdx: colIdx, Weights: weights}, nil
+	g := &CSR{RowPtr: rowPtr, ColIdx: colIdx, Weights: weights}
+	g.memoizeDegreeStats()
+	return g, nil
 }
 
 func dedupEdges(edges []Edge) []Edge {

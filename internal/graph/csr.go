@@ -25,6 +25,13 @@ type CSR struct {
 	RowPtr  []int64   // len NumVertices+1, monotonically non-decreasing
 	ColIdx  []int32   // len NumEdges
 	Weights []float32 // nil, or len NumEdges
+
+	// maxDeg memoizes MaxDegree: 0 means "unknown" (struct-literal CSRs
+	// never pay for what they don't use), so Build/ReadBinaryFrom/Compact
+	// set it once at construction and MaxDegree becomes O(1) for every
+	// graph on the normal path. An all-isolated-vertices graph stays at 0
+	// and recomputes, which is the correct answer anyway.
+	maxDeg int64
 }
 
 var _ View = (*CSR)(nil)
@@ -126,8 +133,19 @@ func (g *CSR) InDegrees() []int64 {
 	return d
 }
 
-// MaxDegree returns the largest out-degree in the graph.
+// MaxDegree returns the largest out-degree in the graph — O(1) when the
+// graph came from Builder.Build, ReadBinary or Delta.Compact (the value
+// is memoized at construction), O(|V|) for hand-assembled struct
+// literals. It never writes the memo itself: a CSR is shared by
+// concurrent samplers, so lazily storing here would race.
 func (g *CSR) MaxDegree() int64 {
+	if g.maxDeg > 0 {
+		return g.maxDeg
+	}
+	return g.computeMaxDegree()
+}
+
+func (g *CSR) computeMaxDegree() int64 {
 	var m int64
 	for v := 0; v < g.NumVertices(); v++ {
 		if d := g.Degree(int32(v)); d > m {
@@ -135,6 +153,12 @@ func (g *CSR) MaxDegree() int64 {
 		}
 	}
 	return m
+}
+
+// memoizeDegreeStats records the degree stats that are O(|V|) to scan,
+// called once by every construction path before the graph is published.
+func (g *CSR) memoizeDegreeStats() {
+	g.maxDeg = g.computeMaxDegree()
 }
 
 // DegreeRank returns vertex IDs sorted by descending out-degree, ties broken
@@ -200,5 +224,7 @@ func (g *CSR) Reverse() *CSR {
 			}
 		}
 	}
-	return &CSR{RowPtr: rowPtr, ColIdx: colIdx, Weights: weights}
+	rg := &CSR{RowPtr: rowPtr, ColIdx: colIdx, Weights: weights}
+	rg.memoizeDegreeStats()
+	return rg
 }

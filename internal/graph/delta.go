@@ -194,7 +194,9 @@ func (d *Delta) Compact() *CSR {
 		}
 		rowPtr[v+1] = int64(len(colIdx))
 	}
-	return &CSR{RowPtr: rowPtr, ColIdx: colIdx, Weights: weights}
+	g := &CSR{RowPtr: rowPtr, ColIdx: colIdx, Weights: weights}
+	g.memoizeDegreeStats()
+	return g
 }
 
 // Snapshot is the immutable delta-overlay View a Delta publishes. Reads of

@@ -27,6 +27,17 @@ func Partition(g View, k int, seed uint64) [][]int32 {
 	// Per-cluster BFS frontiers, advanced round-robin so clusters grow at
 	// matching rates.
 	frontiers := make([][]int32, k)
+	// One decode buffer for compressed views: the BFS is a one-time
+	// build, but at O(|E|) rows a per-row allocation would dominate it.
+	dec, _ := g.(NeighborDecoder)
+	var decBuf []int32
+	adj := func(v int32) []int32 {
+		if dec == nil {
+			return g.Adj(v)
+		}
+		decBuf = dec.AdjInto(v, decBuf)
+		return decBuf
+	}
 	order := r.Perm(n)
 	next := 0
 	for c := 0; c < k; c++ {
@@ -54,7 +65,7 @@ func Partition(g View, k int, seed uint64) [][]int32 {
 			}
 			var newFrontier []int32
 			for _, v := range frontiers[c] {
-				for _, nbr := range g.Adj(v) {
+				for _, nbr := range adj(v) {
 					if assign[nbr] != -1 || sizes[c] >= target {
 						continue
 					}

@@ -40,6 +40,23 @@ type View interface {
 	MaxDegree() int64
 }
 
+// NeighborDecoder is the optional decode fast path a compressed View
+// implements alongside View. AdjInto decodes the out-neighbors of v into
+// buf when cap(buf) suffices, into a freshly allocated slice otherwise,
+// and returns the decoded row. Unlike View.Adj the result never aliases
+// graph storage: it is owned by the caller, who may mutate it in place
+// and should keep the returned slice as the next call's buf so decode
+// capacity is reused (the sampling scratch arenas thread one such buffer
+// per arena, keeping pooled steady-state sampling at 0 allocs/op).
+//
+// Views whose Adj already returns an aliasing slice at O(1) cost (CSR,
+// Snapshot) deliberately do not implement this interface: for them Adj
+// is the fast path and a decode copy would be pure overhead. Samplers
+// type-assert once per Sample call and fall back to Adj.
+type NeighborDecoder interface {
+	AdjInto(v VertexID, buf []int32) []int32
+}
+
 // SelectTop partially sorts ids so that ids[:k] holds the least k elements
 // under less, in sorted order — the O(|V|) expected-time introselect the
 // cache layer's RankTop and CSR.DegreeRankTop share. less must be a strict

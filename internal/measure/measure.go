@@ -180,11 +180,15 @@ func Collect(d *gen.Dataset, spec Spec, alg sampling.Algorithm, workers int, rec
 				st.Samples += s.Samples
 				st.Reuses += s.Reuses
 				st.Grows += s.Grows
+				st.RowCacheHits += s.RowCacheHits
+				st.RowCacheMisses += s.RowCacheMisses
 			}
 		}
 		reg.Counter("measure.scratch_samples").Add(st.Samples)
 		reg.Counter("measure.scratch_reuses").Add(st.Reuses)
 		reg.Counter("measure.scratch_grows").Add(st.Grows)
+		reg.Counter("measure.scratch_rowcache_hits").Add(st.RowCacheHits)
+		reg.Counter("measure.scratch_rowcache_misses").Add(st.RowCacheMisses)
 	}
 	return m
 }

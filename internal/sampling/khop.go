@@ -84,6 +84,7 @@ func (k *KHop) NumHops() int { return len(k.Fanouts) }
 // Sample implements Algorithm.
 func (k *KHop) Sample(g graph.View, seeds []int32, r *rng.Rand) *Sample {
 	sc := k.scratchArena()
+	dec, _ := g.(graph.NeighborDecoder)
 	expect := expectedVertices(len(seeds), k.Fanouts)
 	loc, s := sc.begin(seeds, expect, len(k.Fanouts))
 	for _, seed := range seeds {
@@ -96,8 +97,8 @@ func (k *KHop) Sample(g graph.View, seeds []int32, r *rng.Rand) *Sample {
 		src, dst := sc.layerStart(li, layer.NumDst*fanout)
 		for dstLocal := frontierStart; dstLocal < frontierEnd; dstLocal++ {
 			v := loc.input[dstLocal]
-			adj := g.Adj(v)
-			picked, scanned := k.pickUniform(sc, adj, fanout, r)
+			adj, mutable := sc.adj(g, dec, v)
+			picked, scanned := k.pickUniform(sc, adj, mutable, fanout, r)
 			s.SampledEdges += int64(len(picked))
 			s.ScannedEdges += scanned
 			for _, nbr := range picked {
@@ -115,8 +116,11 @@ func (k *KHop) Sample(g graph.View, seeds []int32, r *rng.Rand) *Sample {
 }
 
 // pickUniform returns up to fanout uniform neighbors without replacement
-// and the number of adjacency entries scanned (the cost basis).
-func (k *KHop) pickUniform(sc *scratch, adj []int32, fanout int, r *rng.Rand) ([]int32, int64) {
+// and the number of adjacency entries scanned (the cost basis). mutable
+// means adj is arena-owned (a decoded row): Fisher–Yates then shuffles
+// it in place, skipping the pick-buffer copy — the draw sequence and the
+// picked prefix are identical either way.
+func (k *KHop) pickUniform(sc *scratch, adj []int32, mutable bool, fanout int, r *rng.Rand) ([]int32, int64) {
 	d := len(adj)
 	if d == 0 {
 		return nil, 0
@@ -136,8 +140,11 @@ func (k *KHop) pickUniform(sc *scratch, adj []int32, fanout int, r *rng.Rand) ([
 		}
 		return res, int64(d) // reservoir scans the full list
 	default: // FisherYates
-		buf := sc.pickBuf(d)
-		copy(buf, adj)
+		buf := adj
+		if !mutable {
+			buf = sc.pickBuf(d)
+			copy(buf, adj)
+		}
 		for i := 0; i < fanout; i++ {
 			j := i + r.Intn(d-i)
 			buf[i], buf[j] = buf[j], buf[i]

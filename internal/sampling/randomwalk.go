@@ -74,6 +74,7 @@ func (w *RandomWalk) NumHops() int { return w.Layers }
 // Sample implements Algorithm.
 func (w *RandomWalk) Sample(g graph.View, seeds []int32, r *rng.Rand) *Sample {
 	sc := w.scratchArena()
+	dec, _ := g.(graph.NeighborDecoder)
 	expect := expectedVertices(len(seeds), w.fanouts)
 	loc, s := sc.begin(seeds, expect, w.Layers)
 	for _, seed := range seeds {
@@ -90,7 +91,7 @@ func (w *RandomWalk) Sample(g graph.View, seeds []int32, r *rng.Rand) *Sample {
 			for p := 0; p < w.NumPaths; p++ {
 				cur := v
 				for step := 0; step < w.WalkLength; step++ {
-					adj := g.Adj(cur)
+					adj, _ := sc.adj(g, dec, cur)
 					if len(adj) == 0 {
 						break
 					}

@@ -30,6 +30,7 @@ import (
 // inducedSample builds the single-layer induced-subgraph sample for the
 // given member set (seeds must be a prefix of members) on sc's buffers.
 func inducedSample(g graph.View, seeds, members []int32, sc *scratch) *Sample {
+	dec, _ := g.(graph.NeighborDecoder)
 	loc, s := sc.begin(seeds, len(members)*2, 1)
 	s.Subgraph = true
 	for _, v := range members {
@@ -38,7 +39,8 @@ func inducedSample(g graph.View, seeds, members []int32, sc *scratch) *Sample {
 	layer := Layer{NumDst: len(members)}
 	src, dst := sc.layerStart(0, 0)
 	for dstLocal, v := range loc.input {
-		for _, nbr := range g.Adj(v) {
+		row, _ := sc.adj(g, dec, v)
+		for _, nbr := range row {
 			srcLocal, ok := loc.lookup(nbr)
 			if !ok {
 				continue
@@ -47,7 +49,7 @@ func inducedSample(g graph.View, seeds, members []int32, sc *scratch) *Sample {
 			dst = append(dst, int32(dstLocal))
 			s.SampledEdges++
 		}
-		s.ScannedEdges += g.Degree(v)
+		s.ScannedEdges += int64(len(row))
 	}
 	sc.layerEnd(0, src, dst)
 	layer.Src, layer.Dst = src, dst
@@ -309,6 +311,7 @@ func (se *SAINTEdge) Sample(g graph.View, seeds []int32, r *rng.Rand) *Sample {
 	e := g.NumEdges()
 	rowPtr := se.edgeRowPtr(g)
 	sc := se.scratchArena()
+	dec, _ := g.(graph.NeighborDecoder)
 	sc.stats.Grows += sc.seen.reset(g.NumVertices())
 	members := sc.members[:0]
 	members = append(members, seeds...)
@@ -318,7 +321,8 @@ func (se *SAINTEdge) Sample(g graph.View, seeds []int32, r *rng.Rand) *Sample {
 	for i := 0; i < se.EdgeBudget; i++ {
 		idx := int64(r.Uint64n(uint64(e)))
 		src := edgeSource(rowPtr, idx)
-		dst := g.Adj(src)[idx-rowPtr[src]]
+		row, _ := sc.adj(g, dec, src)
+		dst := row[idx-rowPtr[src]]
 		if sc.seen.add(src) {
 			members = append(members, src)
 		}

@@ -240,6 +240,7 @@ func (w *WeightedKHop) Sample(g graph.View, seeds []int32, r *rng.Rand) *Sample 
 		rowPtr, cum = ct.rowPtr, ct.cum
 	}
 	sc := w.scratchArena()
+	dec, _ := g.(graph.NeighborDecoder)
 	expect := expectedVertices(len(seeds), w.Fanouts)
 	loc, s := sc.begin(seeds, expect, len(w.Fanouts))
 	for _, seed := range seeds {
@@ -252,7 +253,7 @@ func (w *WeightedKHop) Sample(g graph.View, seeds []int32, r *rng.Rand) *Sample 
 		src, dst := sc.layerStart(li, layer.NumDst*fanout)
 		for dstLocal := frontierStart; dstLocal < frontierEnd; dstLocal++ {
 			v := loc.input[dstLocal]
-			adj := g.Adj(v)
+			adj, _ := sc.adj(g, dec, v)
 			d := len(adj)
 			if d == 0 {
 				continue

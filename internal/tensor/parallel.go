@@ -59,6 +59,32 @@ func matMulRows(dst, a, b *Matrix, lo, hi int) {
 	}
 }
 
+// matMulATBCols computes dst rows [lo,hi) of aᵀ @ b — each dst row i is
+// owned by the worker covering a's column band [lo,hi). The k-outer loop
+// keeps every dst element's accumulation order identical to the full
+// serial pass, including the aki==0 skip.
+func matMulATBCols(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dr := dst.Row(i)
+		for j := range dr {
+			dr[j] = 0
+		}
+	}
+	for k := 0; k < a.Rows; k++ {
+		ar := a.Row(k)[lo:hi]
+		br := b.Row(k)
+		for i, aki := range ar {
+			if aki == 0 {
+				continue
+			}
+			dr := dst.Row(lo + i)
+			for j := range br {
+				dr[j] += aki * br[j]
+			}
+		}
+	}
+}
+
 // matMulABTRows computes dst rows [lo,hi) of a @ bᵀ.
 func matMulABTRows(dst, a, b *Matrix, lo, hi int) {
 	for i := lo; i < hi; i++ {

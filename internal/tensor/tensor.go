@@ -100,26 +100,20 @@ func MatMul(dst, a, b *Matrix) {
 	matMulRows(dst, a, b, 0, a.Rows)
 }
 
-// MatMulATB computes dst = aᵀ @ b (a: k×n, b: k×m, dst: n×m).
+// MatMulATB computes dst = aᵀ @ b (a: k×n, b: k×m, dst: n×m). Large
+// products partition dst rows (= a columns) across cores; each output
+// element folds over k in the same order either way, so the result is
+// bitwise identical to the serial computation.
 func MatMulATB(dst, a, b *Matrix) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulATB shapes (%d×%d)ᵀ@(%d×%d)->(%d×%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	dst.Zero()
-	for k := 0; k < a.Rows; k++ {
-		ar := a.Row(k)
-		br := b.Row(k)
-		for i, aki := range ar {
-			if aki == 0 {
-				continue
-			}
-			dr := dst.Row(i)
-			for j := range br {
-				dr[j] += aki * br[j]
-			}
-		}
+	if a.Rows*a.Cols*b.Cols >= parallelThreshold {
+		parallelRows(a.Cols, func(lo, hi int) { matMulATBCols(dst, a, b, lo, hi) })
+		return
 	}
+	matMulATBCols(dst, a, b, 0, a.Cols)
 }
 
 // MatMulABT computes dst = a @ bᵀ (a: n×k, b: m×k, dst: n×m).

@@ -310,6 +310,42 @@ func TestParallelMatMulMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestParallelMatMulATBMatchesSerial pins the column-partitioned aᵀ@b
+// against the single-band serial pass: every dst element folds over k in
+// the same order, so the parallel result must be bitwise identical — not
+// merely close — including around the aki==0 sparsity skip.
+func TestParallelMatMulATBMatchesSerial(t *testing.T) {
+	r := rng.New(9)
+	// 256*128*128 flops clears parallelThreshold, so MatMulATB fans out.
+	a, b := randomMatrix(256, 128, r), randomMatrix(256, 128, r)
+	// Zeros exercise the skip on both paths (ReLU'd activations are the
+	// real callers, so sparsity is the common case).
+	for i := range a.Data {
+		if i%3 == 0 {
+			a.Data[i] = 0
+		}
+	}
+	got := New(128, 128)
+	MatMulATB(got, a, b)
+	want := New(128, 128)
+	matMulATBCols(want, a, b, 0, a.Cols)
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("parallel MatMulATB != serial at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+	// And both agree with the transpose-based naive reference.
+	at := New(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	if !matricesClose(got, naiveMatMul(at, b), 2e-3) {
+		t.Error("parallel MatMulATB != naive")
+	}
+}
+
 // TestParallelMatMulDeterministic: row partitioning must be bitwise
 // reproducible across runs.
 func TestParallelMatMulDeterministic(t *testing.T) {

@@ -18,11 +18,16 @@
 //     — deterministic, so portable across hosts.
 //   - time-derived speedups (speedup…, rank_speedup): higher is
 //     better, but both numerator and denominator are wall clock, so
-//     they carry the clock noise band — 50% tolerance.
+//     they carry a wide noise band — 50% tolerance.
 //   - wall-clock times and derived shape metrics (…_ns_op, …_s, …_us,
 //     …_ms, ns_per_visit, …slowdown, …_ratio): lower is better, but
-//     noisy on shared runners — 50% tolerance.
-//   - structural counts (store_hits, vertices, cells, …): exact.
+//     single-iteration runs on shared/1-core runners routinely swing
+//     past 50% — fail only past 2x (100% tolerance). Real hot-path
+//     regressions are caught by the tight alloc gates and the ratio
+//     metrics (slowdowns divide out machine speed).
+//   - structural counts (store_hits, vertices, cells, …) and
+//     deterministic-encode metrics (compression_ratio, …bytes_per_edge):
+//     exact.
 //   - environment (cores, workers, scale) and strings: ignored.
 //
 // A metric present in the baseline but missing fresh fails; a new
@@ -70,7 +75,7 @@ var (
 	clBytes   = class{name: "bytes", dir: -1, tol: 0.15, eps: 64}
 	clRatio   = class{name: "ratio", dir: +1, tol: 0.15, eps: 0.05}
 	clSpeedup = class{name: "speedup", dir: +1, tol: 0.50, eps: 0.05}
-	clClock   = class{name: "clock", dir: -1, tol: 0.50, eps: 1e-6}
+	clClock   = class{name: "clock", dir: -1, tol: 1.00, eps: 1e-6}
 	clExact   = class{name: "exact", dir: 0}
 	clIgnore  = class{name: "env", skip: true}
 	clInfo    = class{name: "info", skip: true}
@@ -86,6 +91,17 @@ var exactKeys = map[string]bool{
 	"feature_dim": true, "hidden_dim": true,
 }
 
+// structuralExactKeys are deterministic-encode metrics: outputs of a
+// seeded generator fed through a byte-deterministic encoder, so they are
+// exact floats, portable across hosts — unlike the clock-noise "_ratio"
+// family they would otherwise classify into. The packed-topology
+// compression ratio gates here: any drift means the encoding changed.
+var structuralExactKeys = map[string]bool{
+	"compression_ratio": true, "csr_bytes_per_edge": true,
+	"packed_bytes_per_edge": true, "csr_topology_bytes": true,
+	"packed_topology_bytes": true,
+}
+
 // classify maps a flattened metric path to its comparison class.
 func classify(path string) class {
 	key := path
@@ -95,7 +111,7 @@ func classify(path string) class {
 	switch {
 	case key == "cores" || key == "workers" || key == "scale":
 		return clIgnore
-	case exactKeys[key]:
+	case exactKeys[key] || structuralExactKeys[key]:
 		return clExact
 	case strings.HasSuffix(key, "allocs_op"):
 		return clAllocs

@@ -25,6 +25,7 @@ func TestCompareClassThresholds(t *testing.T) {
 		"configs[0].speedup_ns":       1.2,
 		"configs[0].bytes_ratio":      100,
 		"configs[0].fresh_ns_op":      1e6,
+		"configs[0].pooled_ns_op":     1e6,
 		"rank_speedup":                2.0,
 		"store_hits":                  10,
 		"cores":                       8,
@@ -35,7 +36,8 @@ func TestCompareClassThresholds(t *testing.T) {
 		"configs[0].pooled_bytes_op":  2000,  // +100%: past 15%
 		"configs[0].speedup_ns":       0.9,   // -25%: within the 50% speedup band
 		"configs[0].bytes_ratio":      80,    // -20%: past the 15% ratio band
-		"configs[0].fresh_ns_op":      1.4e6, // +40%: within the 50% clock band
+		"configs[0].fresh_ns_op":      1.9e6, // +90%: within the 2x clock band
+		"configs[0].pooled_ns_op":     2.2e6, // +120%: past the 2x clock band
 		"rank_speedup":                0.8,   // -60%: past the 50% speedup band
 		"store_hits":                  11,    // exact metric moved
 		"cores":                       1,     // env: ignored
@@ -50,6 +52,7 @@ func TestCompareClassThresholds(t *testing.T) {
 		"B.json:configs[0].bytes_ratio":      "FAIL",
 		"B.json:rank_speedup":                "FAIL",
 		"B.json:configs[0].fresh_ns_op":      "OK",
+		"B.json:configs[0].pooled_ns_op":     "FAIL",
 		"B.json:store_hits":                  "FAIL",
 		"B.json:brand_new_metric_s":          "NEW",
 	}

@@ -44,9 +44,26 @@ go run ./cmd/gnnlab-bench -scale 8 -gpus 4 -epochs 2 -faults 3 resilience
 go test -race -timeout 3600s -count=1 \
 	-run 'TestSnapshot|TestDelta|TestCompact|TestDegreeRankTop|SnapshotMatchesRebuild|TestSampleSnapshotZeroAllocs|TestHotness' \
 	./internal/graph ./internal/sampling ./internal/cache ./internal/measure
-# Graph-delta benchmark smoke: one iteration regenerates BENCH_graph.json
-# (snapshot/compact cost, overlay sampling overhead, O(|Δ|) ApplyDelta).
-go test -timeout 3600s -run xxx -bench='BenchmarkSnapshotOverhead|BenchmarkApplyDelta' -benchtime=1x .
+# Compressed-topology suite under race: packed structural/round-trip
+# tests, the packed-vs-CSR sampling differentials (all 8 variants, gob
+# byte-identical), the decoded-row cache pins, the packed zero-alloc pin,
+# the measure-layer differential and the packed dataset round trip
+# (covered again by the full -race suite above; -count=1 defeats caching).
+go test -race -timeout 3600s -count=1 \
+	-run 'TestPacked|FuzzPackedFromBytes|TestSamplePacked|TestCollectPacked|TestCSRMaxDegreeMemoized|TestParallelMatMulATB' \
+	./internal/graph ./internal/sampling ./internal/measure ./internal/gen ./internal/tensor
+# Graph-storage benchmark smoke: one iteration regenerates BENCH_graph.json
+# (snapshot/compact cost, overlay sampling overhead, O(|Δ|) ApplyDelta,
+# packed compression ratio + decode/sampling overhead).
+go test -timeout 3600s -run xxx -bench='BenchmarkSnapshotOverhead|BenchmarkApplyDelta|BenchmarkPackedDecode' -benchtime=1x .
+# Packed CLI smoke: compressed inventory, degree stats and dataset write
+# through gnnlab-gen (the read side is pinned by TestPackedDatasetRoundTrip),
+# and one experiment over packed topology end to end.
+PACKED_TMP="$(mktemp -d)"
+go run ./cmd/gnnlab-gen -preset PR -scale 8 -packed -out "$PACKED_TMP/pr.bin"
+go run ./cmd/gnnlab-gen -preset PR -scale 8 -packed -stats > /dev/null
+rm -rf "$PACKED_TMP"
+go run ./cmd/gnnlab-bench -scale 8 -gpus 4 -epochs 2 -packed table2 > /dev/null
 # Drift smoke: the dynamic-graph cache-policy experiment end to end
 # through the CLI (degree vs PreSC under drift at two re-rank cadences).
 go run ./cmd/gnnlab-bench -scale 8 -gpus 4 -epochs 2 -drift 3 drift
