@@ -4,7 +4,7 @@
 // Usage:
 //
 //	gnnlab-bench [-scale N] [-gpus N] [-epochs N] [-workers N] [-faults N] [-drift N]
-//	             [-packed] [-format table|csv] [-list] [-whatif DATASET]
+//	             [-packed] [-format table|csv] [-list] [-whatif DATASET] [-serve]
 //	             [-eventlog out.jsonl] [-trace out.json] [-metrics]
 //	             [-pprof addr] [experiment ...]
 //
@@ -43,6 +43,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the observability counters (measure/cost/store) to stderr at the end")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
 	whatif := flag.String("whatif", "", "trace one GNNLab epoch on this dataset preset and print its time accounting + what-if capacity estimates (skips the experiments)")
+	serve := flag.Bool("serve", false, "run only the online inference serving experiment (p50/p99 latency and max sustainable QPS per Sampler/Trainer split); shorthand for the 'serving' experiment id")
 	eventlogPath := flag.String("eventlog", "", "write a structured JSONL event log (faults, reallocations, per-run summaries) to this path")
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
@@ -103,6 +104,9 @@ func main() {
 		opts.Store.Observe(opts.Obs.Registry())
 	}
 	ids := flag.Args()
+	if *serve {
+		ids = append([]string{"serving"}, ids...)
+	}
 	if len(ids) == 0 {
 		ids = experiments.IDs()
 	}

@@ -273,6 +273,7 @@ func Registry() []struct {
 		{"ablation-trainset", AblationTrainSet},
 		{"resilience", Resilience},
 		{"drift", Drift},
+		{"serving", Serving},
 	}
 }
 

@@ -17,7 +17,8 @@ func TestRegistryComplete(t *testing.T) {
 		"figure17a", "figure17b",
 		"ablation-agl", "ablation-pipeline", "ablation-subgraph", "ablation-partition",
 		"ablation-contention", "ablation-coupling", "ablation-hostbw",
-		"ablation-batchsize", "ablation-trainset", "resilience", "drift"}
+		"ablation-batchsize", "ablation-trainset", "resilience", "drift",
+		"serving"}
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(ids), len(want))
 	}

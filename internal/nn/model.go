@@ -168,6 +168,31 @@ func (m *Model) PredictWS(ws *Workspace, g *Compact, feats *tensor.Matrix, label
 	return correct, nil
 }
 
+// ClassifyWS runs forward inside ws (nil = fresh) and returns the
+// per-seed argmax class for each of the g.NumSeeds seed vertices,
+// appended into dst (grown as needed, reused across calls) — the
+// inference path of the serving layer, where no labels exist and the
+// caller wants the predictions themselves rather than an accuracy count.
+func (m *Model) ClassifyWS(ws *Workspace, g *Compact, feats *tensor.Matrix, dst []int32) ([]int32, error) {
+	ws.reset()
+	logits, _, err := m.ForwardWS(ws, g, feats)
+	if err != nil {
+		return dst, err
+	}
+	dst = growInt32s(dst, logits.Rows)
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Row(i)
+		argmax := 0
+		for j, v := range row {
+			if v > row[argmax] {
+				argmax = j
+			}
+		}
+		dst[i] = int32(argmax)
+	}
+	return dst, nil
+}
+
 // GatherFeatures extracts the feature rows of a sample's input vertices
 // into a dense matrix — the real Extract stage of the live runtime.
 func GatherFeatures(s *sampling.Sample, features []float32, dim int) *tensor.Matrix {

@@ -211,6 +211,44 @@ func TestPredictCounts(t *testing.T) {
 	}
 }
 
+// TestClassifyWSMatchesPredict cross-checks the serving classifier
+// against PredictWS: feeding ClassifyWS's own predictions back to
+// PredictWS as labels must count every seed correct, and the dst buffer
+// must be reused when capacity allows.
+func TestClassifyWSMatchesPredict(t *testing.T) {
+	g := testGraph(6, 80, 5)
+	s := sampleFor(t, g, []int32{1, 2, 7}, []int{3, 2})
+	c, _ := NewCompact(s)
+	model := NewModel(workload.GraphSAGE, 2, 4, 8, 3, 3)
+	feats := tensor.New(c.NumVertices, 4)
+	for i := range feats.Data {
+		feats.Data[i] = float32(i%7) * 0.1
+	}
+	buf := make([]int32, 0, 8)
+	classes, err := model.ClassifyWS(nil, c, feats, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 3 {
+		t.Fatalf("%d classes, want 3", len(classes))
+	}
+	if &classes[0] != &buf[:1][0] {
+		t.Error("ClassifyWS did not reuse the caller's buffer")
+	}
+	for i, cl := range classes {
+		if cl < 0 || cl >= 3 {
+			t.Errorf("class[%d] = %d outside [0,3)", i, cl)
+		}
+	}
+	correct, err := model.Predict(c, feats, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if correct != 3 {
+		t.Errorf("PredictWS agrees on %d/3 argmaxes", correct)
+	}
+}
+
 func TestGatherFeaturesAndSeedLabels(t *testing.T) {
 	g := testGraph(7, 20, 3)
 	s := sampleFor(t, g, []int32{5}, []int{2})

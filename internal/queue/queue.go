@@ -23,6 +23,7 @@ type Queue[T any] struct {
 
 	enqueued int64
 	dequeued int64
+	dropped  int64
 	maxDepth int
 }
 
@@ -40,7 +41,9 @@ func New[T any](capacity int) *Queue[T] {
 }
 
 // Enqueue blocks until space is available, then appends item. It reports
-// false (dropping the item) if the queue was closed.
+// false (dropping the item) if the queue was closed; the drop is counted
+// in Stats().Dropped so producers that ignore the return value are still
+// observable.
 func (q *Queue[T]) Enqueue(item T) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -48,8 +51,35 @@ func (q *Queue[T]) Enqueue(item T) bool {
 		q.notFull.Wait()
 	}
 	if q.closed {
+		q.dropped++
 		return false
 	}
+	q.push(item)
+	return true
+}
+
+// TryEnqueue appends item without blocking. ok reports whether the item
+// was accepted; closed distinguishes a refused enqueue on a closed queue
+// (counted in Stats().Dropped) from plain backpressure on a full one.
+// Admission control uses the distinction: a full queue sheds load, a
+// closed queue rejects outright.
+func (q *Queue[T]) TryEnqueue(item T) (ok, closed bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		q.dropped++
+		return false, true
+	}
+	if q.count == len(q.items) {
+		return false, false
+	}
+	q.push(item)
+	return true, false
+}
+
+// push appends item and updates instrumentation. Caller holds q.mu and
+// has checked for space and the closed flag.
+func (q *Queue[T]) push(item T) {
 	q.items[(q.head+q.count)%len(q.items)] = item
 	q.count++
 	q.enqueued++
@@ -57,7 +87,6 @@ func (q *Queue[T]) Enqueue(item T) bool {
 		q.maxDepth = q.count
 	}
 	q.notEmpty.Signal()
-	return true
 }
 
 // Dequeue blocks until an item is available and returns it. It reports
@@ -83,7 +112,10 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 }
 
 // TryDequeue returns an item without blocking; ok is false when empty.
-// The second boolean reports whether the queue is closed and drained.
+// done reports whether the queue is closed AND drained — including the
+// call that hands out the last item of a closed queue, so a consumer can
+// stop immediately instead of burning one extra poll round to learn the
+// queue is finished.
 func (q *Queue[T]) TryDequeue() (item T, ok, done bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -97,7 +129,7 @@ func (q *Queue[T]) TryDequeue() (item T, ok, done bool) {
 	q.count--
 	q.dequeued++
 	q.notFull.Signal()
-	return item, true, false
+	return item, true, q.closed && q.count == 0
 }
 
 // Len returns the current depth — the M_r of the switching profit metric.
@@ -117,22 +149,44 @@ func (q *Queue[T]) Close() {
 	q.notFull.Broadcast()
 }
 
-// Reopen clears the closed flag so the queue can serve another epoch.
+// Reopen clears the closed flag so the queue can serve another epoch or
+// serving window, and resets MaxDepth to the current depth so Stats()
+// reports the high-water mark of the new window rather than conflating
+// it with previous ones. Enqueued/Dequeued/Dropped keep accumulating
+// across windows; use ResetStats for a fully fresh snapshot.
 func (q *Queue[T]) Reopen() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.closed = false
+	q.maxDepth = q.count
 }
 
 // Stats is a snapshot of queue instrumentation.
 type Stats struct {
 	Enqueued, Dequeued int64
-	MaxDepth           int
+	// Dropped counts items refused because the queue was closed —
+	// producer-side losses that a bare false return would hide.
+	Dropped int64
+	// MaxDepth is the high-water mark since construction, the last
+	// Reopen, or the last ResetStats, whichever is most recent.
+	MaxDepth int
 }
 
 // Stats returns accumulated instrumentation.
 func (q *Queue[T]) Stats() Stats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return Stats{Enqueued: q.enqueued, Dequeued: q.dequeued, MaxDepth: q.maxDepth}
+	return Stats{Enqueued: q.enqueued, Dequeued: q.dequeued, Dropped: q.dropped, MaxDepth: q.maxDepth}
+}
+
+// ResetStats zeroes the counters and rebases MaxDepth to the current
+// depth, starting a fresh instrumentation window without disturbing
+// queued items or the closed flag.
+func (q *Queue[T]) ResetStats() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.enqueued = 0
+	q.dequeued = 0
+	q.dropped = 0
+	q.maxDepth = q.count
 }

@@ -213,6 +213,209 @@ func TestLenTracksDepth(t *testing.T) {
 	}
 }
 
+// TestTryDequeueReportsDoneOnLastItem pins the closed-and-now-drained
+// contract: the call that hands out the final item of a closed queue
+// must already report done=true, so a polling consumer stops without an
+// extra empty round.
+func TestTryDequeueReportsDoneOnLastItem(t *testing.T) {
+	q := New[int](4)
+	q.Enqueue(1)
+	q.Enqueue(2)
+	q.Close()
+	if v, ok, done := q.TryDequeue(); !ok || v != 1 || done {
+		t.Errorf("first item: v=%d ok=%v done=%v, want 1,true,false", v, ok, done)
+	}
+	if v, ok, done := q.TryDequeue(); !ok || v != 2 || !done {
+		t.Errorf("last item of closed queue: v=%d ok=%v done=%v, want 2,true,true", v, ok, done)
+	}
+	// While open, handing out the last item must NOT claim done.
+	q.Reopen()
+	q.Enqueue(3)
+	if v, ok, done := q.TryDequeue(); !ok || v != 3 || done {
+		t.Errorf("last item of open queue: v=%d ok=%v done=%v, want 3,true,false", v, ok, done)
+	}
+}
+
+// TestReopenResetsMaxDepth pins the per-window MaxDepth semantics: a
+// serving window that never goes deeper than 1 must not inherit the
+// previous window's high-water mark.
+func TestReopenResetsMaxDepth(t *testing.T) {
+	q := New[int](8)
+	for i := 0; i < 5; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < 5; i++ {
+		q.Dequeue()
+	}
+	if st := q.Stats(); st.MaxDepth != 5 {
+		t.Fatalf("first window MaxDepth = %d, want 5", st.MaxDepth)
+	}
+	q.Close()
+	q.Reopen()
+	q.Enqueue(9)
+	if st := q.Stats(); st.MaxDepth != 1 {
+		t.Errorf("after Reopen MaxDepth = %d, want 1 (window must not conflate)", st.MaxDepth)
+	}
+	// Reopen with residual items rebases to the residual depth, not zero.
+	q.Enqueue(10)
+	q.Close()
+	q.Reopen()
+	if st := q.Stats(); st.MaxDepth != 2 {
+		t.Errorf("Reopen with 2 residual items: MaxDepth = %d, want 2", st.MaxDepth)
+	}
+}
+
+func TestDroppedCountsClosedEnqueues(t *testing.T) {
+	q := New[int](2)
+	q.Enqueue(1)
+	q.Close()
+	if q.Enqueue(2) {
+		t.Fatal("enqueue after close accepted")
+	}
+	if ok, closed := q.TryEnqueue(3); ok || !closed {
+		t.Fatalf("TryEnqueue on closed queue: ok=%v closed=%v", ok, closed)
+	}
+	if st := q.Stats(); st.Dropped != 2 {
+		t.Errorf("Dropped = %d, want 2", st.Dropped)
+	}
+	if st := q.Stats(); st.Enqueued != 1 {
+		t.Errorf("Enqueued = %d, want 1 (drops must not count as enqueues)", st.Enqueued)
+	}
+}
+
+func TestTryEnqueueBackpressureVsClosed(t *testing.T) {
+	q := New[int](1)
+	if ok, closed := q.TryEnqueue(1); !ok || closed {
+		t.Fatalf("TryEnqueue on empty queue: ok=%v closed=%v", ok, closed)
+	}
+	// Full but open: refused without counting as a drop (caller sheds).
+	if ok, closed := q.TryEnqueue(2); ok || closed {
+		t.Fatalf("TryEnqueue on full queue: ok=%v closed=%v", ok, closed)
+	}
+	if st := q.Stats(); st.Dropped != 0 {
+		t.Errorf("backpressure refusal counted as drop: %+v", st)
+	}
+	q.Dequeue()
+	if ok, _ := q.TryEnqueue(3); !ok {
+		t.Error("TryEnqueue refused after slot freed")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	q := New[int](4)
+	q.Enqueue(1)
+	q.Enqueue(2)
+	q.Dequeue()
+	q.Close()
+	q.Enqueue(9) // dropped
+	q.ResetStats()
+	st := q.Stats()
+	if st.Enqueued != 0 || st.Dequeued != 0 || st.Dropped != 0 {
+		t.Errorf("counters not zeroed: %+v", st)
+	}
+	if st.MaxDepth != 1 {
+		t.Errorf("MaxDepth = %d, want rebase to current depth 1", st.MaxDepth)
+	}
+}
+
+// TestCloseReopenStress hammers Close/Reopen cycles against concurrent
+// producers and consumers — producers parked in notFull.Wait must survive
+// a Close+Reopen underneath them, every accepted item must be delivered
+// exactly once, and accepted+dropped must account for every attempt.
+// Run with -race to check the lifecycle transitions.
+func TestCloseReopenStress(t *testing.T) {
+	const producers, consumers, perProducer, cycles = 4, 3, 500, 20
+	q := New[int](4)
+
+	var accepted, dropped atomic.Int64
+	var pg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pg.Add(1)
+		go func(p int) {
+			defer pg.Done()
+			for i := 0; i < perProducer; i++ {
+				if q.Enqueue(p*perProducer + i) {
+					accepted.Add(1)
+				} else {
+					dropped.Add(1)
+				}
+			}
+		}(p)
+	}
+
+	// Lifecycle churn: repeatedly close (waking parked producers into the
+	// refusal path) and reopen (letting later enqueues through again).
+	lifecycle := make(chan struct{})
+	go func() {
+		defer close(lifecycle)
+		for c := 0; c < cycles; c++ {
+			time.Sleep(time.Millisecond)
+			q.Close()
+			time.Sleep(time.Millisecond)
+			q.Reopen()
+		}
+	}()
+
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	var cg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < consumers; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				// done is ignored here on purpose: a Reopen may admit
+				// more work after closed-and-drained, so consumers poll
+				// until the test signals stop.
+				v, ok, _ := q.TryDequeue()
+				if ok {
+					mu.Lock()
+					seen[v]++
+					mu.Unlock()
+					continue
+				}
+				select {
+				case <-stop:
+					if q.Len() == 0 {
+						return
+					}
+				default:
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+		}()
+	}
+
+	pg.Wait()
+	<-lifecycle
+	q.Reopen() // final window: let consumers drain the residue
+	close(stop)
+	cg.Wait()
+
+	if got := accepted.Load() + dropped.Load(); got != producers*perProducer {
+		t.Fatalf("accepted %d + dropped %d = %d attempts, want %d",
+			accepted.Load(), dropped.Load(), got, producers*perProducer)
+	}
+	var delivered int64
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("item %d delivered %d times", v, c)
+		}
+		delivered++
+	}
+	if delivered != accepted.Load() {
+		t.Fatalf("delivered %d items, accepted %d", delivered, accepted.Load())
+	}
+	st := q.Stats()
+	if st.Dropped != dropped.Load() {
+		t.Errorf("Stats().Dropped = %d, producers saw %d refusals", st.Dropped, dropped.Load())
+	}
+	if st.Enqueued != accepted.Load() || st.Dequeued != delivered {
+		t.Errorf("stats %+v, want enqueued=%d dequeued=%d", st, accepted.Load(), delivered)
+	}
+}
+
 func TestNewPanicsOnBadCapacity(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -658,10 +658,13 @@ func produceSamples(d *gen.Dataset, alg sampling.Algorithm, batches [][]int32, o
 	// producers feel backpressure like the real host-memory queue.
 	done := queue.New[indexedSample](max(4, 2*opts.NumSamplers))
 	for i, b := range batches {
+		// Cannot fail: the queue holds len(batches) slots and is not yet
+		// closed, so every task is accepted.
 		work.Enqueue(task{idx: i, seeds: b})
 	}
 	work.Close()
 	cSamples := opts.Obs.Registry().Counter("train.samples")
+	cDropped := opts.Obs.Registry().Counter("queue.dropped_enqueues")
 	for w := 0; w < opts.NumSamplers; w++ {
 		var lane obs.Lane
 		if opts.Obs != nil {
@@ -680,7 +683,15 @@ func produceSamples(d *gen.Dataset, alg sampling.Algorithm, batches [][]int32, o
 					sp.End(obs.Attr{Key: "epoch", Value: epoch}, obs.Attr{Key: "batch", Value: t.idx})
 				}
 				cSamples.Add(1)
-				done.Enqueue(item)
+				if !done.Enqueue(item) {
+					// The stream was cancelled (trainer abandoned the
+					// epoch) and closed the queue under us: the sample is
+					// dropped by design, but count it so load shedding is
+					// observable, and stop — every later enqueue would
+					// drop too.
+					cDropped.Add(1)
+					return
+				}
 			}
 		}()
 	}

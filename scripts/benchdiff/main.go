@@ -26,8 +26,8 @@
 //     regressions are caught by the tight alloc gates and the ratio
 //     metrics (slowdowns divide out machine speed).
 //   - structural counts (store_hits, vertices, cells, …) and
-//     deterministic-encode metrics (compression_ratio, …bytes_per_edge):
-//     exact.
+//     deterministic-encode metrics (compression_ratio, …bytes_per_edge,
+//     and BENCH_serve.json's simulated serving latencies/QPS): exact.
 //   - environment (cores, workers, scale) and strings: ignored.
 //
 // A metric present in the baseline but missing fresh fails; a new
@@ -53,6 +53,7 @@ var defaultFiles = []string{
 	"BENCH_sample.json",
 	"BENCH_train.json",
 	"BENCH_graph.json",
+	"BENCH_serve.json",
 }
 
 // class is one metric family's comparison rule.
@@ -89,6 +90,7 @@ var exactKeys = map[string]bool{
 	"delta_new_vertices": true, "graph_vertices": true, "graph_edges": true,
 	"rank_vertices": true, "calls": true, "batch_size": true,
 	"feature_dim": true, "hidden_dim": true,
+	"gpus": true, "requests": true, "live_batch": true, "live_calls": true,
 }
 
 // structuralExactKeys are deterministic-encode metrics: outputs of a
@@ -100,6 +102,13 @@ var structuralExactKeys = map[string]bool{
 	"compression_ratio": true, "csr_bytes_per_edge": true,
 	"packed_bytes_per_edge": true, "csr_topology_bytes": true,
 	"packed_topology_bytes": true,
+	// BENCH_serve.json's open-loop serving metrics come from sim.Serve
+	// under a frozen synthetic cost model and seed-keyed Poisson
+	// arrivals — no wall clock anywhere — so despite their _s/_qps
+	// names they are exact floats on every host. Any drift means the
+	// serving engine's admission, batching, or dispatch order changed.
+	"max_qps": true, "p50_s": true, "p99_s": true, "p99_fault_s": true,
+	"shed_fault": true, "deadline_s": true, "live_cache_rate": true,
 }
 
 // classify maps a flattened metric path to its comparison class.

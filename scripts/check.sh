@@ -69,9 +69,30 @@ go run ./cmd/gnnlab-bench -scale 8 -gpus 4 -epochs 2 -packed table2 > /dev/null
 go run ./cmd/gnnlab-bench -scale 8 -gpus 4 -epochs 2 -drift 3 drift
 # Epoch-accounting smoke: the critical-path/what-if report end to end.
 go run ./cmd/gnnlab-bench -scale 16 -gpus 4 -whatif PA > /dev/null
+# Serving suite: the queue lifecycle fixes (done-on-last-item, Reopen
+# maxDepth reset, closed-enqueue drop accounting) and the Close/Reopen
+# stress interleavings under race, the open-loop simulator's conservation
+# and fault invariants, and the live server's admission/deadline/
+# microbatching/zero-alloc pins (covered again by the full -race suite
+# above; -count=1 defeats caching).
+go test -race -timeout 3600s -count=1 \
+	-run 'TestTryDequeue|TestTryEnqueue|TestReopen|TestDropped|TestResetStats|TestCloseReopenStress|TestPoisson|TestTrace|TestServe|TestMaxSustainable|TestAdmission|TestDeadline|TestEWMA|TestRequestDrivenCache' \
+	./internal/queue ./internal/sim ./internal/serve
+# Serving determinism: the open-loop latency report is seed-keyed
+# simulation downstream of measured stage costs, so two runs of the same
+# binary must emit byte-identical tables (csv omits wall-clock footers).
+SERVE_TMP="$(mktemp -d)"
+go run ./cmd/gnnlab-bench -serve -scale 8 -gpus 4 -epochs 2 -format csv > "$SERVE_TMP/a.csv"
+go run ./cmd/gnnlab-bench -serve -scale 8 -gpus 4 -epochs 2 -format csv > "$SERVE_TMP/b.csv"
+cmp "$SERVE_TMP/a.csv" "$SERVE_TMP/b.csv"
+rm -rf "$SERVE_TMP"
+# Serving benchmark smoke: one iteration regenerates BENCH_serve.json
+# (exact simulated p50/p99/max-QPS per split + live microbatch cycle cost).
+go test -timeout 3600s -run xxx -bench=BenchmarkServe -benchtime=1x .
 # Perf-regression gate, part 2: regenerate the artifacts the smoke runs
 # above did not already refresh (measure, replay, sample), then diff all
-# five against the stashed baselines. Allocation metrics fail past 15%;
-# wall-clock metrics get a wide noise band (see scripts/benchdiff).
+# six against the stashed baselines. Allocation metrics fail past 15%;
+# the simulated serving metrics are exact; wall-clock metrics get a wide
+# noise band (see scripts/benchdiff).
 go test -timeout 3600s -run xxx -bench='BenchmarkMeasureParallel|BenchmarkMeasureStoreReplay|BenchmarkSampleArena' -benchtime=1x .
 go run ./scripts/benchdiff -out benchdiff.txt "$BASELINES" .
